@@ -1,0 +1,1 @@
+"""pytest-benchmark suite: one module per table/figure of the paper."""

@@ -1,0 +1,69 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* block size ``beta`` — node split threshold and bucket capacity;
+* the zReduce pruning factor (entries exact-checked vs stored);
+* the dynamic-insert path vs bulk construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.core.config import TQTreeConfig
+from repro.index.builder import build_tq_zorder
+from repro.index.tqtree import TQTree
+from repro.queries.evaluate import QueryStats, evaluate_service
+
+from .conftest import run_heavy, run_once
+
+
+@pytest.mark.parametrize("beta", (16, 64, 256))
+def test_ablation_beta_query_time(benchmark, factory, beta):
+    users = factory.taxi_users(1.0)
+    probe = factory.facilities(8, DEFAULTS.n_stops)
+    spec = factory.spec()
+    tree = build_tq_zorder(users, beta=beta, space=factory.city.bounds)
+    tree.warm_zindex()
+    run_once(benchmark, lambda: [evaluate_service(tree, f, spec) for f in probe])
+    benchmark.extra_info.update({"ablation": "beta", "x_beta": beta})
+
+
+def test_ablation_pruning_factor(benchmark, factory):
+    """zReduce must exact-check well under half of the entries that the
+    visited node lists hold (the mechanism behind Figures 6-7)."""
+    users = factory.taxi_users(1.0)
+    probe = factory.facilities(8, DEFAULTS.n_stops)
+    spec = factory.spec()
+    tree = factory.tq_tree(users, use_zorder=True)
+
+    def measure():
+        stats = QueryStats()
+        for f in probe:
+            evaluate_service(tree, f, spec, stats=stats)
+        return stats
+
+    stats = run_once(benchmark, measure)
+    assert stats.entries_scored < 0.5 * stats.entries_considered
+    benchmark.extra_info.update(
+        {
+            "ablation": "pruning",
+            "entries_considered": stats.entries_considered,
+            "entries_scored": stats.entries_scored,
+        }
+    )
+
+
+def test_ablation_insert_path(benchmark, factory):
+    """Dynamic inserts (Section III-C) versus bulk build, same data."""
+    users = factory.taxi_users(0.5)
+
+    def insert_all():
+        tree = TQTree(factory.city.bounds, TQTreeConfig(beta=DEFAULTS.beta))
+        for u in users:
+            tree.insert(u)
+        return tree
+
+    tree = run_heavy(benchmark, insert_all)
+    assert tree.n_trajectories == len(users)
+    benchmark.extra_info.update({"ablation": "insert", "n_users": len(users)})

@@ -1,0 +1,60 @@
+"""Index construction time (paper Section VI-B(4), text).
+
+The paper reports TQ(B) construction of 0.74-3.74 s and TQ(Z) of
+1.03-9.95 s across 203k-1.03M NYT trips; the reproduction measures the
+same ratio trend (TQ(Z) costs a constant factor over TQ(B) for the
+z-structures) at scaled sizes.  Baseline (point quadtree) construction
+rides along for completeness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.index.builder import build_tq_basic, build_tq_zorder
+from repro.queries.baseline import BaselineIndex
+
+from .conftest import run_heavy
+
+DAYS = (0.5, 1.0, 2.0, 3.0)
+
+
+@pytest.mark.parametrize("days", DAYS)
+def test_construction_tq_basic(benchmark, factory, days):
+    users = factory.taxi_users(days)
+
+    def build():
+        return build_tq_basic(users, beta=DEFAULTS.beta, space=factory.city.bounds)
+
+    tree = run_heavy(benchmark, build)
+    assert tree.n_trajectories == len(users)
+    benchmark.extra_info.update({"series": "TQ(B)", "x_days": days})
+
+
+@pytest.mark.parametrize("days", DAYS)
+def test_construction_tq_zorder(benchmark, factory, days):
+    users = factory.taxi_users(days)
+
+    def build():
+        tree = build_tq_zorder(users, beta=DEFAULTS.beta, space=factory.city.bounds)
+        tree.warm_zindex()  # z-structures are part of TQ(Z) construction
+        return tree
+
+    tree = run_heavy(benchmark, build)
+    assert tree.n_trajectories == len(users)
+    benchmark.extra_info.update({"series": "TQ(Z)", "x_days": days})
+
+
+@pytest.mark.parametrize("days", DAYS)
+def test_construction_baseline(benchmark, factory, days):
+    users = factory.taxi_users(days)
+
+    def build():
+        return BaselineIndex.build(
+            users, capacity=DEFAULTS.beta, space=factory.city.bounds
+        )
+
+    index = run_heavy(benchmark, build)
+    assert index.n_users == len(users)
+    benchmark.extra_info.update({"series": "BL", "x_days": days})

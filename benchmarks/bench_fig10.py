@@ -1,0 +1,69 @@
+"""Figure 10: MaxkCovRST — time and #users served.
+
+Four competitors: the straightforward greedy over baseline match sets
+(G(BL)), the two-step greedy over TQ-tree match sets (G-TQ(B), G-TQ(Z)),
+and the 20-iteration genetic algorithm (Gn-TQ(Z)).
+
+(a)/(b): time and quality vs #users; (c)/(d): vs #facilities.  Quality
+(# users served under union semantics) is recorded in ``extra_info`` —
+pytest-benchmark tables show the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.queries.genetic import GeneticConfig, genetic_max_k_coverage
+from repro.queries.maxkcov import maxkcov_baseline, maxkcov_tq, tq_match_fn
+
+from .conftest import run_heavy
+
+METHODS = ("G(BL)", "G-TQ(B)", "G-TQ(Z)", "Gn-TQ(Z)")
+
+
+def _solver(factory, users, method, facilities, spec):
+    if method == "G(BL)":
+        index = factory.baseline(users)
+        return lambda: maxkcov_baseline(index, users, facilities, DEFAULTS.k, spec)
+    if method == "Gn-TQ(Z)":
+        tree = factory.tq_tree(users, use_zorder=True)
+        match = tq_match_fn(tree, spec)
+        return lambda: genetic_max_k_coverage(
+            users, facilities, DEFAULTS.k, spec, match, GeneticConfig(seed=7)
+        )
+    tree = factory.tq_tree(users, use_zorder=(method == "G-TQ(Z)"))
+    return lambda: maxkcov_tq(tree, facilities, DEFAULTS.k, spec)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("days", (0.5, 1.0, 2.0))
+def test_fig10ab_users(benchmark, factory, method, days):
+    users = factory.taxi_users(days)
+    facilities = factory.facilities()
+    result = run_heavy(benchmark, _solver(factory, users, method, facilities, factory.spec()))
+    assert result.users_fully_served >= 0
+    benchmark.extra_info.update(
+        {
+            "figure": "10ab",
+            "series": method,
+            "x_days": days,
+            "users_served": result.users_fully_served,
+        }
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n_facilities", (16, 32, 64))
+def test_fig10cd_facilities(benchmark, factory, method, n_facilities):
+    users = factory.taxi_users(1.0)
+    facilities = factory.facilities(n_facilities, DEFAULTS.n_stops)
+    result = run_heavy(benchmark, _solver(factory, users, method, facilities, factory.spec()))
+    benchmark.extra_info.update(
+        {
+            "figure": "10cd",
+            "series": method,
+            "x_facilities": n_facilities,
+            "users_served": result.users_fully_served,
+        }
+    )

@@ -1,0 +1,47 @@
+"""Figure 6: service-value computation time for one facility.
+
+(a) vs number of user trajectories; (b) vs number of stops — for the
+three competitors BL, TQ(B), TQ(Z) on the NYT-like workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.evaluate import evaluate_service
+
+from .conftest import run_once
+
+DAYS = (0.5, 1.0, 2.0, 3.0)
+STOPS = (8, 32, 128, 512)
+METHODS = ("BL", "TQ(B)", "TQ(Z)")
+
+
+def _eval_all(factory, users, method, facilities, spec):
+    if method == "BL":
+        index = factory.baseline(users)
+        return lambda: [index.service_value(f, spec) for f in facilities]
+    tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
+    return lambda: [evaluate_service(tree, f, spec) for f in facilities]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("days", DAYS)
+def test_fig6a_users(benchmark, factory, method, days):
+    users = factory.taxi_users(days)
+    probe = factory.facilities(8, 32)
+    spec = factory.spec()
+    run_once(benchmark, _eval_all(factory, users, method, probe, spec))
+    benchmark.extra_info.update(
+        {"figure": "6a", "series": method, "x_days": days, "n_users": len(users)}
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("stops", STOPS)
+def test_fig6b_stops(benchmark, factory, method, stops):
+    users = factory.taxi_users(1.0)
+    probe = factory.facilities(8, stops)
+    spec = factory.spec()
+    run_once(benchmark, _eval_all(factory, users, method, probe, spec))
+    benchmark.extra_info.update({"figure": "6b", "series": method, "x_stops": stops})

@@ -1,0 +1,71 @@
+"""Figure 7: kMaxRRST query time on the NYT-like workload.
+
+(a) vs #user trajectories, (b) vs k, (c) vs #stops, (d) vs #facilities —
+for BL, TQ(B), TQ(Z).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.queries.kmaxrrst import top_k_facilities
+
+from .conftest import run_heavy
+
+METHODS = ("BL", "TQ(B)", "TQ(Z)")
+
+
+def _topk(factory, users, method, facilities, k, spec):
+    if method == "BL":
+        index = factory.baseline(users)
+        return lambda: index.top_k(facilities, k, spec)
+    tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
+    return lambda: top_k_facilities(tree, facilities, k, spec)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("days", (0.5, 1.0, 2.0, 3.0))
+def test_fig7a_users(benchmark, factory, method, days):
+    users = factory.taxi_users(days)
+    facilities = factory.facilities()
+    run_heavy(
+        benchmark,
+        _topk(factory, users, method, facilities, DEFAULTS.k, factory.spec()),
+    )
+    benchmark.extra_info.update({"figure": "7a", "series": method, "x_days": days})
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", (4, 8, 16, 32))
+def test_fig7b_k(benchmark, factory, method, k):
+    users = factory.taxi_users(1.0)
+    facilities = factory.facilities()
+    run_heavy(benchmark, _topk(factory, users, method, facilities, k, factory.spec()))
+    benchmark.extra_info.update({"figure": "7b", "series": method, "x_k": k})
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("stops", (8, 32, 128, 512))
+def test_fig7c_stops(benchmark, factory, method, stops):
+    users = factory.taxi_users(1.0)
+    facilities = factory.facilities(DEFAULTS.n_facilities, stops)
+    run_heavy(
+        benchmark,
+        _topk(factory, users, method, facilities, DEFAULTS.k, factory.spec()),
+    )
+    benchmark.extra_info.update({"figure": "7c", "series": method, "x_stops": stops})
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n_facilities", (8, 32, 128))
+def test_fig7d_facilities(benchmark, factory, method, n_facilities):
+    users = factory.taxi_users(1.0)
+    facilities = factory.facilities(n_facilities, DEFAULTS.n_stops)
+    run_heavy(
+        benchmark,
+        _topk(factory, users, method, facilities, DEFAULTS.k, factory.spec()),
+    )
+    benchmark.extra_info.update(
+        {"figure": "7d", "series": method, "x_facilities": n_facilities}
+    )

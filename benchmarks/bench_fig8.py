@@ -1,0 +1,57 @@
+"""Figure 8: kMaxRRST on NYF-like multipoint data.
+
+Compares BL against the segmented (S-TQ) and full-trajectory (F-TQ)
+index variants, each with and without z-ordering, under the COUNT
+service model — (a) vs #stops, (b) vs #facilities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.core.config import IndexVariant
+from repro.core.service import ServiceModel
+from repro.queries.kmaxrrst import top_k_facilities
+
+from .conftest import run_heavy
+
+METHODS = {
+    "BL": None,
+    "S-TQ(B)": (IndexVariant.SEGMENTED, False),
+    "S-TQ(Z)": (IndexVariant.SEGMENTED, True),
+    "F-TQ(B)": (IndexVariant.FULL, False),
+    "F-TQ(Z)": (IndexVariant.FULL, True),
+}
+
+
+def _topk(factory, users, method, facilities, spec):
+    params = METHODS[method]
+    if params is None:
+        index = factory.baseline(users)
+        return lambda: index.top_k(facilities, DEFAULTS.k, spec)
+    variant, use_z = params
+    tree = factory.tq_tree(users, use_zorder=use_z, variant=variant)
+    return lambda: top_k_facilities(tree, facilities, DEFAULTS.k, spec)
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+@pytest.mark.parametrize("stops", (8, 32, 128))
+def test_fig8a_stops(benchmark, factory, method, stops):
+    users = factory.checkin_users()
+    facilities = factory.facilities(DEFAULTS.n_facilities, stops)
+    spec = factory.spec(ServiceModel.COUNT)
+    run_heavy(benchmark, _topk(factory, users, method, facilities, spec))
+    benchmark.extra_info.update({"figure": "8a", "series": method, "x_stops": stops})
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+@pytest.mark.parametrize("n_facilities", (8, 32, 128))
+def test_fig8b_facilities(benchmark, factory, method, n_facilities):
+    users = factory.checkin_users()
+    facilities = factory.facilities(n_facilities, DEFAULTS.n_stops)
+    spec = factory.spec(ServiceModel.COUNT)
+    run_heavy(benchmark, _topk(factory, users, method, facilities, spec))
+    benchmark.extra_info.update(
+        {"figure": "8b", "series": method, "x_facilities": n_facilities}
+    )

@@ -1,0 +1,53 @@
+"""Figure 9: kMaxRRST on BJG-like GPS traces.
+
+The paper's setup for the (small) Geolife dataset: every consecutive
+point pair of a trace becomes its own 2-point trajectory, indexed with
+the endpoint TQ-tree — (a) vs #stops, (b) vs #facilities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DEFAULTS
+from repro.index.builder import segment_dataset
+from repro.queries.kmaxrrst import top_k_facilities
+
+from .conftest import run_heavy
+
+METHODS = ("BL", "TQ(B)", "TQ(Z)")
+
+
+def _segments(factory):
+    key = ("geolife-seg-bench",)
+    if key not in factory._users:
+        factory._users[key] = segment_dataset(factory.geolife_users())
+    return factory._users[key]
+
+
+def _topk(factory, users, method, facilities, spec):
+    if method == "BL":
+        index = factory.baseline(users)
+        return lambda: index.top_k(facilities, DEFAULTS.k, spec)
+    tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
+    return lambda: top_k_facilities(tree, facilities, DEFAULTS.k, spec)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("stops", (8, 32, 128))
+def test_fig9a_stops(benchmark, factory, method, stops):
+    users = _segments(factory)
+    facilities = factory.facilities(DEFAULTS.n_facilities, stops)
+    run_heavy(benchmark, _topk(factory, users, method, facilities, factory.spec()))
+    benchmark.extra_info.update({"figure": "9a", "series": method, "x_stops": stops})
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n_facilities", (8, 32, 128))
+def test_fig9b_facilities(benchmark, factory, method, n_facilities):
+    users = _segments(factory)
+    facilities = factory.facilities(n_facilities, DEFAULTS.n_stops)
+    run_heavy(benchmark, _topk(factory, users, method, facilities, factory.spec()))
+    benchmark.extra_info.update(
+        {"figure": "9b", "series": method, "x_facilities": n_facilities}
+    )

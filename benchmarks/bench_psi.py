@@ -1,0 +1,35 @@
+"""psi sensitivity (paper Section VI-B(1)(iii), graph omitted there).
+
+The paper states: more users become eligible as psi grows, but only the
+baseline's runtime changes significantly.  This bench regenerates that
+observation: BL grows with psi (bigger discs, more retrieved points)
+while the TQ-tree approaches stay comparatively flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import ServiceModel, ServiceSpec
+from repro.queries.evaluate import evaluate_service
+
+from .conftest import run_once
+
+PSIS = (100.0, 200.0, 400.0, 800.0)
+METHODS = ("BL", "TQ(B)", "TQ(Z)")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("psi", PSIS)
+def test_psi_sensitivity(benchmark, factory, method, psi):
+    users = factory.taxi_users(1.0)
+    probe = factory.facilities(8, 32)
+    spec = ServiceSpec(ServiceModel.ENDPOINT, psi=psi)
+    if method == "BL":
+        index = factory.baseline(users)
+        fn = lambda: [index.service_value(f, spec) for f in probe]  # noqa: E731
+    else:
+        tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
+        fn = lambda: [evaluate_service(tree, f, spec) for f in probe]  # noqa: E731
+    run_once(benchmark, fn)
+    benchmark.extra_info.update({"figure": "psi", "series": method, "x_psi": psi})

@@ -1,0 +1,58 @@
+"""Tables I-III: dataset summaries and the parameter grid.
+
+These are not timing benchmarks — they regenerate the paper's three
+tables and assert their structural properties (dataset kinds, parameter
+coverage).  Benchmark timers wrap generation so dataset-construction
+cost is also on record.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import PAPER_PARAMETERS
+from repro.datasets import summarize_facilities, summarize_users
+
+from .conftest import run_heavy
+
+
+def test_table1_facility_datasets(benchmark, factory):
+    def build():
+        ny = summarize_facilities("NY-like", factory.facilities(253, None))
+        bj = summarize_facilities("BJ-like", factory.facilities(230, None))
+        return ny, bj
+
+    ny, bj = run_heavy(benchmark, build)
+    # Paper Table I shape: two networks, tens of stops per route.
+    assert ny.n_facilities == 253 and bj.n_facilities == 230
+    assert ny.mean_stops > 2 and bj.mean_stops > 2
+    benchmark.extra_info["NY-like"] = f"{ny.n_facilities} routes / {ny.n_stop_points} stops"
+    benchmark.extra_info["BJ-like"] = f"{bj.n_facilities} routes / {bj.n_stop_points} stops"
+
+
+def test_table2_user_datasets(benchmark, factory):
+    def build():
+        return (
+            summarize_users("NYT-like", factory.taxi_users(1.0)),
+            summarize_users("NYF-like", factory.checkin_users()),
+            summarize_users("BJG-like", factory.geolife_users()),
+        )
+
+    nyt, nyf, bjg = run_heavy(benchmark, build)
+    # Paper Table II shape: NYT point-to-point, the others multipoint.
+    assert nyt.kind == "point-to-point"
+    assert nyf.kind == "multipoint"
+    assert bjg.kind == "multipoint"
+    for s in (nyt, nyf, bjg):
+        benchmark.extra_info[s.name] = f"{s.n_trajectories} trajectories ({s.kind})"
+
+
+def test_table3_parameters(benchmark):
+    def check():
+        return {row.name: row for row in PAPER_PARAMETERS}
+
+    rows = run_heavy(benchmark, check)
+    # Every parameter the paper sweeps is declared with paper + scaled ranges.
+    for name in ("n_trajectories", "n_stops", "n_facilities", "k"):
+        assert name in rows
+        assert len(rows[name].paper_range) >= 4
+        assert len(rows[name].scaled_range) >= 4
+    assert rows["k"].paper_range == (4, 8, 16, 32)

@@ -1,0 +1,32 @@
+"""Shared state for the pytest-benchmark suite.
+
+One :class:`~repro.bench.harness.WorkloadFactory` is built per session so
+dataset generation and index construction are paid once; benchmarks then
+measure query work only.  Workload sizes follow the scaled defaults in
+``repro.bench.harness`` (set ``REPRO_BENCH_SCALE`` to grow them).
+
+Benchmark naming convention: ``test_<figure>_<series>[<x>]`` so the
+pytest-benchmark table groups into the paper's series directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import WorkloadFactory
+
+
+@pytest.fixture(scope="session")
+def factory() -> WorkloadFactory:
+    return WorkloadFactory()
+
+
+def run_once(benchmark, fn):
+    """Benchmark a query with warmup=1, a few measured rounds."""
+    fn()  # warm lazy caches outside the measurement
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def run_heavy(benchmark, fn):
+    """Benchmark an expensive query (single measured round)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,95 @@
+"""Deep dive into the TQ-tree: storage layout, I/O cost, range variants.
+
+A tour of the index internals the other examples treat as a black box:
+
+1. the storage invariants of Section III-B (every trajectory stored
+   exactly once; inter-node entries live high, intra-node entries low);
+2. the block-I/O cost model — the machine-independent form of the
+   TQ(Z)-vs-TQ(B) comparison (how many beta-sized blocks each method
+   reads to evaluate a facility);
+3. the future-work query variants: rectangle range search and
+   single-stop service probes.
+
+Run:  python examples/index_deep_dive.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BBox,
+    CityModel,
+    Point,
+    ServiceModel,
+    ServiceSpec,
+    build_tq_basic,
+    build_tq_zorder,
+    generate_bus_routes,
+    generate_taxi_trips,
+    storage_report,
+)
+from repro.index.iomodel import estimate_query_blocks
+from repro.queries.range_search import (
+    trajectories_in_range,
+    trajectories_served_by_stop,
+)
+
+
+def main() -> None:
+    city = CityModel.generate(seed=42, size=12_000.0)
+    users = generate_taxi_trips(8_000, city, seed=1)
+    routes = generate_bus_routes(8, city, seed=2, n_stops=32)
+    spec = ServiceSpec(ServiceModel.ENDPOINT, psi=250.0)
+
+    # ---- 1. storage anatomy (Section III-B) -----------------------------
+    tree = build_tq_zorder(users, beta=64, space=city.bounds)
+    report = storage_report(tree)
+    print("TQ-tree storage anatomy")
+    print(f"  trajectories indexed : {report.n_trajectories:,}")
+    print(f"  stored exactly once  : {report.stores_each_entry_once}")
+    print(f"  q-nodes / leaves     : {report.n_nodes} / {report.n_leaves}")
+    print(f"  height               : {report.height}")
+    print(f"  inter-node entries   : {report.inter_node_entries:,} "
+          f"(long trips, upper levels)")
+    print(f"  intra-node entries   : {report.intra_node_entries:,} "
+          f"(short trips, leaves)")
+    per_level = ", ".join(
+        f"L{d}:{n}" for d, n in sorted(report.entries_per_level.items())
+    )
+    print(f"  entries per level    : {per_level}")
+
+    # ---- 2. block-I/O cost: TQ(Z) vs TQ(B) ------------------------------
+    basic = build_tq_basic(users, beta=64, space=city.bounds)
+    print("\nblock reads to evaluate one facility (beta-sized blocks)")
+    print(f"  {'route':>6} {'TQ(B) list':>11} {'TQ(Z) list':>11} {'saved':>6}")
+    total_b = total_z = 0
+    for f in routes:
+        cb = estimate_query_blocks(basic, f, spec)
+        cz = estimate_query_blocks(tree, f, spec)
+        total_b += cb.list_blocks
+        total_z += cz.list_blocks
+        saved = 1.0 - (cz.list_blocks / cb.list_blocks if cb.list_blocks else 0.0)
+        print(f"  {f.facility_id:>6} {cb.list_blocks:>11} {cz.list_blocks:>11} "
+              f"{saved:>5.0%}")
+    print(f"  {'total':>6} {total_b:>11} {total_z:>11} "
+          f"{1.0 - total_z / total_b:>5.0%}")
+
+    # ---- 3. range-search variants (Section VIII future work) ------------
+    downtown = BBox(4_000, 4_000, 8_000, 8_000)
+    in_town = trajectories_in_range(tree, downtown, mode="any")
+    fully = trajectories_in_range(tree, downtown, mode="all")
+    print(f"\nrange search over the central 4x4 km:")
+    print(f"  trips touching it    : {len(in_town):,}")
+    print(f"  trips fully inside   : {len(fully):,}")
+
+    stop = Point(6_000, 6_000)
+    served = trajectories_served_by_stop(tree, stop, psi=400.0)
+    partial = trajectories_served_by_stop(
+        tree, stop, psi=400.0, require_both_endpoints=False
+    )
+    print(f"single candidate stop at (6000, 6000), psi=400 m:")
+    print(f"  full trips served    : {len(served):,}")
+    print(f"  trips touched at all : {len(partial):,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Scenario 3 — on-board Wi-Fi / moving-advertisement coverage.
+
+The paper's Scenario 3: a transit operator equips k bus routes with
+Wi-Fi (or exterior advertising) and wants to maximise the *duration* of
+exposure — modelled as the length of each commuter's journey that runs
+within psi of the route's stops.  The LENGTH service model scores a
+journey segment as covered when both its endpoints are served.
+
+Uses dense GPS traces (the BJG-like workload) with the segmented index,
+and shows raw-metres vs normalised-fraction scoring.
+
+Run:  python examples/wifi_advertising.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    CityModel,
+    ServiceModel,
+    ServiceSpec,
+    brute_force_service,
+    build_segmented,
+    generate_bus_routes,
+    generate_gps_traces,
+    top_k_facilities,
+)
+
+PSI = 350.0
+K = 3
+
+
+def main() -> None:
+    city = CityModel.generate(seed=31, size=12_000.0, n_hotspots=8)
+    traces = generate_gps_traces(
+        800, city, seed=7, min_points=15, max_points=40
+    )
+    routes = generate_bus_routes(32, city, seed=8, n_stops=48)
+    total_km = sum(t.length for t in traces) / 1000.0
+    print(f"{len(traces)} GPS traces totalling {total_km:,.0f} km; "
+          f"{len(routes)} candidate routes")
+
+    tree = build_segmented(traces, beta=64, space=city.bounds)
+
+    # ---- raw LENGTH: metres of journey under coverage -------------------
+    raw = ServiceSpec(ServiceModel.LENGTH, psi=PSI, normalize=False)
+    t0 = time.perf_counter()
+    by_metres = top_k_facilities(tree, routes, K, raw)
+    print(f"\ntop {K} routes by covered journey length "
+          f"({(time.perf_counter() - t0) * 1e3:.0f} ms):")
+    for rank, fs in enumerate(by_metres.ranking, start=1):
+        oracle = brute_force_service(traces, fs.facility, raw)
+        check = "ok" if abs(oracle - fs.service) < 1e-6 else "MISMATCH"
+        print(f"  {rank}. route {fs.facility.facility_id:>3}: "
+              f"{fs.service / 1000.0:,.1f} km of exposure (oracle {check})")
+
+    # ---- normalised LENGTH: fair to short journeys ----------------------
+    norm = ServiceSpec(ServiceModel.LENGTH, psi=PSI, normalize=True)
+    by_fraction = top_k_facilities(tree, routes, K, norm)
+    print(f"\ntop {K} routes by *fraction* of each journey covered:")
+    for rank, fs in enumerate(by_fraction.ranking, start=1):
+        print(f"  {rank}. route {fs.facility.facility_id:>3}: "
+              f"{fs.service:,.1f} journey-equivalents")
+
+    same = [f.facility_id for f in by_metres.facilities()] == [
+        f.facility_id for f in by_fraction.facilities()
+    ]
+    if not same:
+        print("\nnote: the two objectives pick different routes — raw metres")
+        print("favour long cross-town journeys, normalised scoring favours")
+        print("routes that fully wrap short trips (Section II-A, Scenario 3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Benchmark harness: workload factory and figure regeneration."""
+
+from .figures import ALL_FIGURES, Figure, Series, render, run_figure
+from .harness import DEFAULTS, PAPER_PARAMETERS, Timer, WorkloadFactory, time_call
+
+__all__ = [
+    "WorkloadFactory",
+    "PAPER_PARAMETERS",
+    "DEFAULTS",
+    "Timer",
+    "time_call",
+    "Figure",
+    "Series",
+    "render",
+    "run_figure",
+    "ALL_FIGURES",
+]

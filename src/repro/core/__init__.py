@@ -1,0 +1,59 @@
+"""Core substrates: geometry, z-ordering, trajectories, service values."""
+
+from .config import IndexVariant, TQTreeConfig
+from .errors import (
+    DatasetError,
+    GeometryError,
+    IndexError_,
+    QueryError,
+    ReproError,
+    TrajectoryError,
+)
+from .geometry import BBox, Point, bbox_of_points, dist, point_segment_dist
+from .service import (
+    CoverageState,
+    ServiceModel,
+    ServiceSpec,
+    StopSet,
+    brute_force_combined_service,
+    brute_force_matches,
+    brute_force_service,
+    score_from_indices,
+    score_trajectory,
+    served_point_indices,
+)
+from .trajectory import FacilityRoute, Trajectory
+from .zorder import ZID, AdaptiveZGrid, morton_decode, morton_encode, zid_of_point
+
+__all__ = [
+    "BBox",
+    "Point",
+    "bbox_of_points",
+    "dist",
+    "point_segment_dist",
+    "ZID",
+    "AdaptiveZGrid",
+    "morton_encode",
+    "morton_decode",
+    "zid_of_point",
+    "Trajectory",
+    "FacilityRoute",
+    "ServiceModel",
+    "ServiceSpec",
+    "StopSet",
+    "CoverageState",
+    "score_trajectory",
+    "score_from_indices",
+    "served_point_indices",
+    "brute_force_service",
+    "brute_force_matches",
+    "brute_force_combined_service",
+    "IndexVariant",
+    "TQTreeConfig",
+    "ReproError",
+    "GeometryError",
+    "TrajectoryError",
+    "IndexError_",
+    "QueryError",
+    "DatasetError",
+]

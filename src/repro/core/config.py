@@ -1,0 +1,63 @@
+"""Configuration objects for index construction.
+
+The knobs mirror the paper's Section III:
+
+* ``beta`` — the block size: maximum intra-node trajectories before a
+  q-node splits, and the z-node bucket capacity.
+* ``variant`` — how multipoint trajectories enter the index
+  (Section III-A): by their two endpoints, segmented into point pairs
+  (S-TQ), or as whole trajectories (F-TQ).
+* ``use_zorder`` — TQ(Z) when True (z-ordered bucket lists inside each
+  q-node), TQ(B) when False (flat lists).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import IndexError_
+
+__all__ = ["IndexVariant", "TQTreeConfig"]
+
+
+class IndexVariant(enum.Enum):
+    """How trajectories are decomposed into index entries (Section III-A)."""
+
+    ENDPOINT = "endpoint"
+    """Only the source/destination pair is indexed (Scenario-1 data such
+    as taxi trips; also valid for any data when only endpoints matter)."""
+
+    SEGMENTED = "segmented"
+    """Each consecutive point pair becomes its own 2-point entry (the
+    paper's *segmented approach*, S-TQ)."""
+
+    FULL = "full"
+    """Whole trajectories are stored in the lowest q-node that fully
+    contains them (the paper's *full-trajectory approach*, F-TQ)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TQTreeConfig:
+    """Construction parameters for a TQ-tree.
+
+    Defaults follow the paper's example scale (``beta`` is a memory-block
+    worth of entries) with depth caps that keep degenerate point clusters
+    from splitting forever.
+    """
+
+    beta: int = 64
+    variant: IndexVariant = IndexVariant.ENDPOINT
+    use_zorder: bool = True
+    max_depth: int = 16
+    z_max_depth: int = 12
+
+    def __post_init__(self) -> None:
+        if self.beta < 1:
+            raise IndexError_(f"beta must be >= 1, got {self.beta}")
+        if self.max_depth < 1:
+            raise IndexError_(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.z_max_depth < 1:
+            raise IndexError_(f"z_max_depth must be >= 1, got {self.z_max_depth}")
+        if not isinstance(self.variant, IndexVariant):
+            raise IndexError_(f"unknown index variant: {self.variant!r}")

@@ -1,0 +1,48 @@
+"""Typed exceptions raised by the :mod:`repro` library.
+
+Every error deliberately produced by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``AttributeError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate or inconsistent geometric inputs.
+
+    Examples: a bounding box with ``max < min``, or a negative expansion
+    radius.
+    """
+
+
+class TrajectoryError(ReproError):
+    """Raised for invalid trajectory definitions.
+
+    Examples: a trajectory with fewer than one point, non-finite
+    coordinates, or malformed point tuples.
+    """
+
+
+class IndexError_(ReproError):
+    """Raised for index construction or update failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for invalid query parameters.
+
+    Examples: ``k <= 0``, a negative serving distance ``psi``, or an
+    unknown service model.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised by synthetic dataset generators and the CSV I/O layer."""

@@ -1,0 +1,208 @@
+"""Trajectory and facility-route data model.
+
+Two first-class citizens, mirroring the paper's Section II:
+
+* :class:`Trajectory` — a user trajectory ``u = {p1, ..., p|u|}``; an
+  ordered sequence of visited locations (taxi pickup/drop-off pairs,
+  check-in sequences, GPS traces).
+* :class:`FacilityRoute` — a candidate facility trajectory ``f``; an
+  ordered sequence of *stop points* (bus stops) at which users can be
+  picked up or dropped off.
+
+Coordinates are held both as :class:`~repro.core.geometry.Point` tuples
+(for the tree algorithms) and as a NumPy ``(n, 2)`` array (for vectorised
+``psi``-distance checks in the service evaluators).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cached_property
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .errors import TrajectoryError
+from .geometry import BBox, Point, bbox_of_points, polyline_length
+
+__all__ = ["Trajectory", "FacilityRoute"]
+
+
+def _as_points(raw: Sequence) -> Tuple[Point, ...]:
+    """Normalise ``raw`` (Points or (x, y) pairs) into a Point tuple."""
+    points = []
+    for item in raw:
+        if isinstance(item, Point):
+            points.append(item)
+        else:
+            try:
+                x, y = item
+                x, y = float(x), float(y)
+            except (TypeError, ValueError) as exc:
+                raise TrajectoryError(f"malformed point: {item!r}") from exc
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise TrajectoryError(f"non-finite point: {item!r}")
+            points.append(Point(x, y))
+    return tuple(points)
+
+
+class Trajectory:
+    """An immutable user trajectory.
+
+    Parameters
+    ----------
+    traj_id:
+        Integer identifier, unique within a dataset.
+    points:
+        Ordered locations; at least one point.  Point-to-point datasets
+        (taxi trips) have exactly two.
+    """
+
+    __slots__ = ("traj_id", "points", "__dict__")
+
+    def __init__(self, traj_id: int, points: Sequence) -> None:
+        pts = _as_points(points)
+        if not pts:
+            raise TrajectoryError(f"trajectory {traj_id} has no points")
+        self.traj_id = int(traj_id)
+        self.points = pts
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def start(self) -> Point:
+        """The source location ``u.p1``."""
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        """The destination location ``u.p|u|``."""
+        return self.points[-1]
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """The points as a read-only ``(n, 2)`` float array."""
+        arr = np.array([(p.x, p.y) for p in self.points], dtype=np.float64)
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def length(self) -> float:
+        """Total polyline length of the trajectory."""
+        return polyline_length(self.points)
+
+    @cached_property
+    def bbox(self) -> BBox:
+        """Tight bounding box of all points."""
+        return bbox_of_points(self.points)
+
+    @cached_property
+    def segment_lengths(self) -> Tuple[float, ...]:
+        """Length of each consecutive segment ``(p_i, p_{i+1})``."""
+        return tuple(
+            self.points[i].dist_to(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.points) - 1
+
+    def segment(self, i: int) -> Tuple[Point, Point]:
+        """The ``i``-th consecutive segment as a point pair."""
+        if not 0 <= i < self.n_segments:
+            raise TrajectoryError(
+                f"segment index {i} out of range for trajectory {self.traj_id} "
+                f"with {self.n_segments} segments"
+            )
+        return self.points[i], self.points[i + 1]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self.traj_id == other.traj_id and self.points == other.points
+
+    def __hash__(self) -> int:
+        return hash((self.traj_id, self.points))
+
+    def __repr__(self) -> str:
+        return f"Trajectory(id={self.traj_id}, n_points={self.n_points})"
+
+
+class FacilityRoute:
+    """An immutable facility trajectory (e.g. a bus route with stops).
+
+    Parameters
+    ----------
+    facility_id:
+        Integer identifier, unique within a facility set.
+    stops:
+        Ordered stop locations; at least one stop.
+    """
+
+    __slots__ = ("facility_id", "stops", "__dict__")
+
+    def __init__(self, facility_id: int, stops: Sequence) -> None:
+        pts = _as_points(stops)
+        if not pts:
+            raise TrajectoryError(f"facility {facility_id} has no stops")
+        self.facility_id = int(facility_id)
+        self.stops = pts
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stops(self) -> int:
+        return len(self.stops)
+
+    @cached_property
+    def stop_coords(self) -> np.ndarray:
+        """The stops as a read-only ``(n, 2)`` float array."""
+        arr = np.array([(p.x, p.y) for p in self.stops], dtype=np.float64)
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def bbox(self) -> BBox:
+        """Tight bounding box of all stops."""
+        return bbox_of_points(self.stops)
+
+    def embr(self, psi: float) -> BBox:
+        """The extended MBR: stop bounding box grown by ``psi``.
+
+        This is the facility's *serving area* envelope (paper Section
+        IV-A); any user point served by the facility lies inside it.
+        """
+        return self.bbox.expanded(psi)
+
+    @cached_property
+    def route_length(self) -> float:
+        """Polyline length through the stops in order."""
+        return polyline_length(self.stops)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.stops)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.stops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FacilityRoute):
+            return NotImplemented
+        return self.facility_id == other.facility_id and self.stops == other.stops
+
+    def __hash__(self) -> int:
+        return hash((self.facility_id, self.stops))
+
+    def __repr__(self) -> str:
+        return f"FacilityRoute(id={self.facility_id}, n_stops={self.n_stops})"

@@ -1,0 +1,41 @@
+"""Synthetic dataset generators and CSV I/O.
+
+Each generator substitutes for one of the paper's real datasets (see
+DESIGN.md Section 3 for the substitution rationale):
+
+* :func:`generate_taxi_trips` — NYT (point-to-point taxi trips)
+* :func:`generate_checkin_trajectories` — NYF (multipoint check-ins)
+* :func:`generate_gps_traces` — BJG (dense GPS traces)
+* :func:`generate_bus_routes` — NY/BJ bus networks (facilities)
+"""
+
+from .busroutes import generate_bus_routes
+from .checkins import generate_checkin_trajectories
+from .city import DEFAULT_CITY_SIZE, CityModel, Hotspot
+from .geolife import generate_gps_traces
+from .io import load_facilities, load_trajectories, save_facilities, save_trajectories
+from .summaries import (
+    FacilityDatasetSummary,
+    UserDatasetSummary,
+    summarize_facilities,
+    summarize_users,
+)
+from .taxi import generate_taxi_trips
+
+__all__ = [
+    "CityModel",
+    "Hotspot",
+    "DEFAULT_CITY_SIZE",
+    "generate_taxi_trips",
+    "generate_checkin_trajectories",
+    "generate_gps_traces",
+    "generate_bus_routes",
+    "save_trajectories",
+    "load_trajectories",
+    "save_facilities",
+    "load_facilities",
+    "UserDatasetSummary",
+    "FacilityDatasetSummary",
+    "summarize_users",
+    "summarize_facilities",
+]

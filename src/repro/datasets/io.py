@@ -1,0 +1,107 @@
+"""CSV serialisation for trajectories and facility routes.
+
+A deliberately simple long format — one row per point — so generated
+datasets can be inspected, diffed, and reloaded:
+
+``traj_id,point_idx,x,y``
+
+Files written by :func:`save_trajectories` round-trip exactly through
+:func:`load_trajectories` (same ids, same point order, same coordinates
+up to ``repr`` fidelity, which for Python floats is exact).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from ..core.errors import DatasetError
+from ..core.trajectory import FacilityRoute, Trajectory
+
+__all__ = [
+    "save_trajectories",
+    "load_trajectories",
+    "save_facilities",
+    "load_facilities",
+]
+
+PathLike = Union[str, Path]
+_HEADER = ("traj_id", "point_idx", "x", "y")
+
+
+def save_trajectories(users: Sequence[Trajectory], path: PathLike) -> None:
+    """Write trajectories in long CSV format."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for u in users:
+            for i, p in enumerate(u.points):
+                writer.writerow((u.traj_id, i, repr(p.x), repr(p.y)))
+
+
+def _load_points(path: PathLike) -> Dict[int, List[tuple]]:
+    grouped: Dict[int, List[tuple]] = {}
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or tuple(header) != _HEADER:
+            raise DatasetError(
+                f"{path}: expected header {_HEADER}, got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise DatasetError(f"{path}:{lineno}: expected 4 columns, got {row!r}")
+            try:
+                tid = int(row[0])
+                idx = int(row[1])
+                x = float(row[2])
+                y = float(row[3])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: malformed row {row!r}") from exc
+            grouped.setdefault(tid, []).append((idx, x, y))
+    return grouped
+
+
+def load_trajectories(path: PathLike) -> List[Trajectory]:
+    """Read trajectories written by :func:`save_trajectories`.
+
+    Rows may appear in any order; points are reassembled by
+    ``point_idx``, which must form a gapless 0..n-1 sequence per id.
+    """
+    grouped = _load_points(path)
+    out: List[Trajectory] = []
+    for tid in sorted(grouped):
+        rows = sorted(grouped[tid])
+        indices = [r[0] for r in rows]
+        if indices != list(range(len(rows))):
+            raise DatasetError(
+                f"{path}: trajectory {tid} has non-contiguous point indices"
+            )
+        out.append(Trajectory(tid, [(x, y) for _, x, y in rows]))
+    return out
+
+
+def save_facilities(facilities: Sequence[FacilityRoute], path: PathLike) -> None:
+    """Write facility routes in the same long CSV format (stops as points)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for f in facilities:
+            for i, p in enumerate(f.stops):
+                writer.writerow((f.facility_id, i, repr(p.x), repr(p.y)))
+
+
+def load_facilities(path: PathLike) -> List[FacilityRoute]:
+    """Read facility routes written by :func:`save_facilities`."""
+    grouped = _load_points(path)
+    out: List[FacilityRoute] = []
+    for fid in sorted(grouped):
+        rows = sorted(grouped[fid])
+        indices = [r[0] for r in rows]
+        if indices != list(range(len(rows))):
+            raise DatasetError(
+                f"{path}: facility {fid} has non-contiguous stop indices"
+            )
+        out.append(FacilityRoute(fid, [(x, y) for _, x, y in rows]))
+    return out

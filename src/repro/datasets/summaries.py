@@ -1,0 +1,50 @@
+"""Dataset summaries in the shape of the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.trajectory import FacilityRoute, Trajectory
+
+__all__ = ["UserDatasetSummary", "FacilityDatasetSummary", "summarize_users", "summarize_facilities"]
+
+
+@dataclass(frozen=True)
+class UserDatasetSummary:
+    """One row of Table II."""
+
+    name: str
+    n_trajectories: int
+    kind: str  # "point-to-point" | "multipoint"
+    n_points: int
+    mean_points: float
+
+
+@dataclass(frozen=True)
+class FacilityDatasetSummary:
+    """One row of Table I."""
+
+    name: str
+    n_facilities: int
+    n_stop_points: int
+    mean_stops: float
+
+
+def summarize_users(name: str, users: Sequence[Trajectory]) -> UserDatasetSummary:
+    n_points = sum(u.n_points for u in users)
+    kind = (
+        "point-to-point"
+        if users and all(u.n_points == 2 for u in users)
+        else "multipoint"
+    )
+    mean = n_points / len(users) if users else 0.0
+    return UserDatasetSummary(name, len(users), kind, n_points, mean)
+
+
+def summarize_facilities(
+    name: str, facilities: Sequence[FacilityRoute]
+) -> FacilityDatasetSummary:
+    n_stops = sum(f.n_stops for f in facilities)
+    mean = n_stops / len(facilities) if facilities else 0.0
+    return FacilityDatasetSummary(name, len(facilities), n_stops, mean)

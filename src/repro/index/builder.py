@@ -1,0 +1,104 @@
+"""Convenience constructors for the index variants named in the paper.
+
+The evaluation section compares six index configurations; each has a
+builder here so benchmarks and examples read like the paper:
+
+=============  =====================================================
+Paper name     Builder
+=============  =====================================================
+TQ(B)          :func:`build_tq_basic`
+TQ(Z)          :func:`build_tq_zorder`
+S-TQ(B/Z)      :func:`build_segmented` (``use_zorder`` flag)
+F-TQ(B/Z)      :func:`build_full` (``use_zorder`` flag)
+BL             :func:`repro.queries.baseline.BaselineIndex.build`
+=============  =====================================================
+
+:func:`segment_dataset` reproduces the paper's BJG setup ("consider every
+pair of points as a single trajectory"): it flattens multipoint
+trajectories into independent 2-point trajectories *before* indexing, so
+ENDPOINT-style queries can run over segment-level data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.config import IndexVariant, TQTreeConfig
+from ..core.geometry import BBox
+from ..core.trajectory import Trajectory
+from .tqtree import TQTree
+
+__all__ = [
+    "build_tq_basic",
+    "build_tq_zorder",
+    "build_segmented",
+    "build_full",
+    "segment_dataset",
+]
+
+
+def build_tq_zorder(
+    users: Sequence[Trajectory],
+    beta: int = 64,
+    space: Optional[BBox] = None,
+    variant: IndexVariant = IndexVariant.ENDPOINT,
+) -> TQTree:
+    """The paper's TQ(Z): hierarchical + z-ordered bucket lists."""
+    cfg = TQTreeConfig(beta=beta, variant=variant, use_zorder=True)
+    return TQTree.build(users, cfg, space)
+
+
+def build_tq_basic(
+    users: Sequence[Trajectory],
+    beta: int = 64,
+    space: Optional[BBox] = None,
+    variant: IndexVariant = IndexVariant.ENDPOINT,
+) -> TQTree:
+    """The paper's TQ(B): hierarchical structure, flat per-node lists."""
+    cfg = TQTreeConfig(beta=beta, variant=variant, use_zorder=False)
+    return TQTree.build(users, cfg, space)
+
+
+def build_segmented(
+    users: Sequence[Trajectory],
+    beta: int = 64,
+    space: Optional[BBox] = None,
+    use_zorder: bool = True,
+) -> TQTree:
+    """The paper's S-TQ: every consecutive point pair is its own entry."""
+    cfg = TQTreeConfig(
+        beta=beta, variant=IndexVariant.SEGMENTED, use_zorder=use_zorder
+    )
+    return TQTree.build(users, cfg, space)
+
+
+def build_full(
+    users: Sequence[Trajectory],
+    beta: int = 64,
+    space: Optional[BBox] = None,
+    use_zorder: bool = True,
+) -> TQTree:
+    """The paper's F-TQ: whole trajectories in their lowest covering node."""
+    cfg = TQTreeConfig(beta=beta, variant=IndexVariant.FULL, use_zorder=use_zorder)
+    return TQTree.build(users, cfg, space)
+
+
+def segment_dataset(users: Sequence[Trajectory]) -> List[Trajectory]:
+    """Flatten multipoint trajectories into independent 2-point ones.
+
+    Fresh sequential ids are assigned; single-point trajectories pass
+    through unchanged.  This is a *dataset* transformation (the paper's
+    BJG experiment), distinct from the SEGMENTED index variant which keeps
+    segment ownership tied to the original trajectory.
+    """
+    out: List[Trajectory] = []
+    next_id = 0
+    for u in users:
+        if u.n_points == 1:
+            out.append(Trajectory(next_id, u.points))
+            next_id += 1
+            continue
+        for i in range(u.n_points - 1):
+            out.append(Trajectory(next_id, (u.points[i], u.points[i + 1])))
+            next_id += 1
+    return out

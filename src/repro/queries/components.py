@@ -1,0 +1,92 @@
+"""Facility components for divide-and-conquer evaluation (Section IV-A).
+
+When Algorithm 1 recurses into a q-node's children, the facility is
+"divided": each child receives only the stops that can serve points
+inside that child — the stops within the child's region expanded by
+``psi``.  A stop near a boundary legitimately lands in several children.
+
+The paper's ``MakeUnion(f)`` merge step exists so that a user served by
+two disconnected pieces of the *same* facility is still credited to that
+one facility.  Here every :class:`FacilityComponent` carries its facility
+id and holds **all** of the facility's stops relevant to its region in a
+single :class:`~repro.core.service.StopSet`, so same-facility pieces are
+already unified and a user is never double-counted across components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.geometry import BBox, Point
+from ..core.service import StopSet
+from ..core.trajectory import FacilityRoute
+from ..index.zindex import RegionTest, disc_region_test, embr_region_test
+
+__all__ = ["FacilityComponent", "intersecting_components"]
+
+# Below this many stops the exact disc-union region test is cheap enough
+# to beat the looser EMBR box test during z-cell pruning.
+_DISC_TEST_MAX_STOPS = 48
+
+
+@dataclass(frozen=True)
+class FacilityComponent:
+    """A facility restricted to a region of space.
+
+    ``stops`` holds the stops that can serve any point of the region
+    (i.e. stops within the region expanded by ``psi``); ``psi`` rides
+    along so the component can derive its serving envelope.
+    """
+
+    facility_id: int
+    stops: StopSet
+    psi: float
+
+    @classmethod
+    def whole(cls, facility: FacilityRoute, psi: float) -> "FacilityComponent":
+        """The undivided facility as a single component."""
+        return cls(facility.facility_id, StopSet.of_facility(facility), psi)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.stops.is_empty
+
+    @property
+    def embr(self) -> Optional[BBox]:
+        """Serving-area envelope: stop bbox expanded by ``psi``."""
+        return self.stops.embr(self.psi)
+
+    def region_test(self) -> RegionTest:
+        """The tightest affordable cell-vs-serving-area predicate.
+
+        Small components test cells against the true union-of-discs
+        serving area; large ones fall back to the EMBR box.
+        """
+        embr = self.embr
+        if embr is None:
+            return lambda _box: False
+        if self.stops.n_stops <= _DISC_TEST_MAX_STOPS:
+            pts = [Point(float(x), float(y)) for x, y in self.stops.coords]
+            return disc_region_test(pts, self.psi, embr)
+        return embr_region_test(embr)
+
+    def restricted_to(self, box: BBox) -> "FacilityComponent":
+        """The component serving region ``box``: stops within ``box ⊕ psi``."""
+        serving = box.expanded(self.psi)
+        return FacilityComponent(
+            self.facility_id, self.stops.restricted_to(serving), self.psi
+        )
+
+
+def intersecting_components(
+    children_boxes: Sequence[BBox], component: FacilityComponent
+) -> List[Optional[FacilityComponent]]:
+    """The paper's ``intersectingComponents``: divide a component over
+    child regions.  Returns one entry per child; ``None`` marks a child
+    that the component cannot serve (the child is pruned)."""
+    out: List[Optional[FacilityComponent]] = []
+    for box in children_boxes:
+        child_comp = component.restricted_to(box)
+        out.append(None if child_comp.is_empty else child_comp)
+    return out

@@ -1,0 +1,338 @@
+"""Service evaluation over a TQ-tree (paper Algorithms 1 and 2).
+
+:func:`evaluate_service` is the divide-and-conquer Algorithm 1: starting
+from the root, the facility component is recursively divided over the
+child quadrants (children the component cannot serve are pruned), and
+each visited node's own entry list is scored by
+:func:`evaluate_node_trajectories` (Algorithm 2).
+
+Algorithm 2 is where the two-phase pruning happens:
+
+* on a TQ(Z) node, ``zReduce`` narrows the entry list through the
+  z-ordered structure (:meth:`ZOrderedList.candidates_*`);
+* on a TQ(B) node the list is scanned linearly with only a cheap
+  per-entry envelope check (this *is* the paper's TQ(B): no ordering to
+  exploit);
+* surviving candidates get exact ``psi``-distance scoring against the
+  component's stops.
+
+A :class:`MatchCollector` can ride along to record *which* points of
+which users were served — MaxkCovRST needs these per-facility match sets
+to price combined coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.config import IndexVariant
+from ..core.service import ServiceModel, ServiceSpec
+from ..core.trajectory import FacilityRoute
+from ..index.entries import IndexEntry
+from ..index.tqtree import QNode, TQTree
+from .components import FacilityComponent, intersecting_components
+
+__all__ = [
+    "QueryStats",
+    "MatchCollector",
+    "evaluate_service",
+    "evaluate_node_trajectories",
+    "needs_ancestor_scan",
+]
+
+
+@dataclass
+class QueryStats:
+    """Work counters for ablation and pruning-effectiveness tests."""
+
+    nodes_visited: int = 0
+    entries_considered: int = 0
+    entries_scored: int = 0
+    states_relaxed: int = 0
+    states_pruned: int = 0
+
+
+class MatchCollector:
+    """Accumulates served point indices per user across an evaluation."""
+
+    def __init__(self) -> None:
+        self.matches: Dict[int, Set[int]] = {}
+
+    def record(self, traj_id: int, indices: Tuple[int, ...]) -> None:
+        if indices:
+            self.matches.setdefault(traj_id, set()).update(indices)
+
+    def as_dict(self) -> Dict[int, Tuple[int, ...]]:
+        return {tid: tuple(sorted(idx)) for tid, idx in self.matches.items()}
+
+
+def needs_ancestor_scan(spec: ServiceSpec, variant: IndexVariant) -> bool:
+    """Can entries stored *above* the facility's containing q-node score?
+
+    For ENDPOINT service (and LENGTH on two-point entries) a contributing
+    entry needs both governing points inside the serving envelope, which
+    is contained in a single child of every proper ancestor — impossible
+    for an inter-node entry stored there.  For COUNT, or LENGTH on
+    full-trajectory entries, a single point/segment inside the envelope
+    suffices, so ancestors must be scanned.
+    """
+    if spec.model is ServiceModel.COUNT:
+        return True
+    return spec.model is ServiceModel.LENGTH and variant is IndexVariant.FULL
+
+
+def _requires_both_endpoints(spec: ServiceSpec, variant: IndexVariant) -> bool:
+    """Is an entry only able to score when *both* governing points are
+    inside the serving envelope?  (Mirror of :func:`needs_ancestor_scan`
+    at entry granularity.)"""
+    if spec.model is ServiceModel.ENDPOINT:
+        return True
+    return spec.model is ServiceModel.LENGTH and variant is not IndexVariant.FULL
+
+
+#: Node lists shorter than this are scanned linearly even on TQ(Z): the
+#: z-machinery's per-query overhead (two grid selections plus range
+#: lookups) only pays for itself once a list is a few buckets long.
+_Z_MIN_LIST = 192
+
+
+def _zreduce_candidates(
+    tree: TQTree,
+    node: QNode,
+    component: FacilityComponent,
+    spec: ServiceSpec,
+    collecting: bool,
+) -> Optional[List[IndexEntry]]:
+    """Apply zReduce on a TQ(Z) node; None means "no z-structure, scan".
+
+    ``collecting`` switches to partial-tolerant candidate modes: combined
+    (MaxkCovRST) coverage needs *every* served point recorded, including
+    entries only one of whose endpoints is near the facility, so the
+    both-endpoints zReduce would silently drop cross-facility matches.
+    """
+    if len(node.entries) < _Z_MIN_LIST:
+        return None
+    zlist = tree.node_zlist(node)
+    if zlist is None:
+        return None
+    embr = component.embr
+    if embr is None:
+        return []
+    variant = tree.config.variant
+    if variant is IndexVariant.FULL and (
+        collecting or spec.model is not ServiceModel.ENDPOINT
+    ):
+        return zlist.candidates_bbox(embr)
+    stops = component.stops.coords
+    if not collecting and _requires_both_endpoints(spec, variant):
+        return zlist.candidates_both(embr, stops, component.psi)
+    return zlist.candidates_any(embr, stops, component.psi)
+
+
+def _linear_candidates(
+    node: QNode,
+    component: FacilityComponent,
+    spec: ServiceSpec,
+    variant: IndexVariant,
+    collecting: bool,
+) -> List[IndexEntry]:
+    """TQ(B) path: linear scan of the whole node list with a vectorised
+    envelope check (the scan is what distinguishes TQ(B) from TQ(Z) —
+    no z-order ranges to jump to)."""
+    embr = component.embr
+    if embr is None:
+        return []
+    block = node.gov_arrays()
+    if not collecting and _requires_both_endpoints(spec, variant):
+        mask = (
+            (block[:, 0] >= embr.xmin)
+            & (block[:, 0] <= embr.xmax)
+            & (block[:, 1] >= embr.ymin)
+            & (block[:, 1] <= embr.ymax)
+            & (block[:, 2] >= embr.xmin)
+            & (block[:, 2] <= embr.xmax)
+            & (block[:, 3] >= embr.ymin)
+            & (block[:, 3] <= embr.ymax)
+        )
+    else:
+        mask = (
+            (block[:, 4] <= embr.xmax)
+            & (block[:, 6] >= embr.xmin)
+            & (block[:, 5] <= embr.ymax)
+            & (block[:, 7] >= embr.ymin)
+        )
+    entries = node.entries
+    return [entries[i] for i in np.nonzero(mask)[0]]
+
+
+def _score_candidates(
+    candidates: List[IndexEntry],
+    component: FacilityComponent,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector],
+) -> float:
+    """Exact-score surviving candidates in one vectorised distance pass.
+
+    All candidates' probe points are stacked into a single coordinate
+    block and checked against the component's stops at once; per-entry
+    aggregation then applies the service model's scoring rule.
+    """
+    if not candidates:
+        return 0.0
+    coords = (
+        candidates[0].probe_coords
+        if len(candidates) == 1
+        else np.concatenate([e.probe_coords for e in candidates])
+    )
+    mask = component.stops.covered_mask(coords, spec.psi)
+    if collector is None:
+        if spec.model is ServiceModel.ENDPOINT:
+            # Every candidate is a whole-trajectory entry whose sorted
+            # probe list starts at index 0 and ends at index n-1, so the
+            # score is simply "first and last probe covered".
+            so = 0.0
+            pos = 0
+            for entry in candidates:
+                k = len(entry.probe_idx)
+                if mask[pos] and mask[pos + k - 1]:
+                    so += 1.0
+                pos += k
+            return so
+        if spec.model is ServiceModel.COUNT:
+            return _batch_count(candidates, mask, spec)
+        return _batch_length(candidates, mask, spec)
+    # collecting mode: per-entry bookkeeping (MaxkCovRST match sets)
+    so = 0.0
+    pos = 0
+    for entry in candidates:
+        k = len(entry.probe_idx)
+        covered = dict(zip(entry.probe_idx, (bool(m) for m in mask[pos : pos + k])))
+        pos += k
+        so += entry.score_from_covered(covered, spec)
+        hit = tuple(i for i in entry.probe_idx if covered[i])
+        if hit:
+            collector.record(entry.traj.traj_id, hit)
+    return so
+
+
+def _batch_count(
+    candidates: List[IndexEntry], mask: np.ndarray, spec: ServiceSpec
+) -> float:
+    """COUNT scores for all candidates from one coverage mask."""
+    sel_parts = []
+    weights = []
+    pos = 0
+    for entry in candidates:
+        own = entry.own_probe_pos
+        if own.size:
+            sel_parts.append(own + pos)
+            w = 1.0 / entry.traj.n_points if spec.normalize else 1.0
+            weights.append(np.full(own.size, w))
+        pos += len(entry.probe_idx)
+    if not sel_parts:
+        return 0.0
+    sel = np.concatenate(sel_parts)
+    w = np.concatenate(weights)
+    return float(np.dot(mask[sel].astype(np.float64), w))
+
+
+def _batch_length(
+    candidates: List[IndexEntry], mask: np.ndarray, spec: ServiceSpec
+) -> float:
+    """LENGTH scores for all candidates from one coverage mask.
+
+    A segment contributes its length when both endpoint probes are
+    covered; normalisation divides by the owning trajectory's length.
+    """
+    a_parts = []
+    b_parts = []
+    len_parts = []
+    pos = 0
+    for entry in candidates:
+        segs = entry.seg_probe_pos
+        if segs.size:
+            a_parts.append(segs[:, 0] + pos)
+            b_parts.append(segs[:, 1] + pos)
+            if spec.normalize:
+                total = entry.traj.length
+                scale = 1.0 / total if total > 0 else 0.0
+                len_parts.append(entry.own_seg_lengths * scale)
+            else:
+                len_parts.append(entry.own_seg_lengths)
+        pos += len(entry.probe_idx)
+    if not a_parts:
+        return 0.0
+    served = mask[np.concatenate(a_parts)] & mask[np.concatenate(b_parts)]
+    return float(np.dot(served.astype(np.float64), np.concatenate(len_parts)))
+
+
+def evaluate_node_trajectories(
+    tree: TQTree,
+    node: QNode,
+    component: FacilityComponent,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector] = None,
+    stats: Optional[QueryStats] = None,
+) -> float:
+    """Algorithm 2: score the entries stored *at* ``node`` against the
+    facility component.  Returns the service value gained."""
+    if component.is_empty or not node.entries:
+        return 0.0
+    collecting = collector is not None
+    candidates = _zreduce_candidates(tree, node, component, spec, collecting)
+    if candidates is None:
+        candidates = _linear_candidates(
+            node, component, spec, tree.config.variant, collecting
+        )
+    if stats is not None:
+        stats.entries_considered += len(node.entries)
+        stats.entries_scored += len(candidates)
+    return _score_candidates(candidates, component, spec, collector)
+
+
+def evaluate_service(
+    tree: TQTree,
+    facility: FacilityRoute,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector] = None,
+    stats: Optional[QueryStats] = None,
+) -> float:
+    """Algorithm 1: the full service value ``SO(U, f)`` of one facility.
+
+    Divide-and-conquer from the root: children whose region the component
+    cannot serve are pruned; every visited node's own list is scored via
+    Algorithm 2.
+    """
+    tree.validate_spec(spec)
+    component = FacilityComponent.whole(facility, spec.psi).restricted_to(
+        tree.root.box
+    )
+    return _evaluate_rec(tree, tree.root, component, spec, collector, stats)
+
+
+def _evaluate_rec(
+    tree: TQTree,
+    node: QNode,
+    component: FacilityComponent,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector],
+    stats: Optional[QueryStats],
+) -> float:
+    if component.is_empty:
+        return 0.0
+    if stats is not None:
+        stats.nodes_visited += 1
+    so = evaluate_node_trajectories(tree, node, component, spec, collector, stats)
+    if node.children is not None:
+        boxes = [child.box for child in node.children]
+        child_components = intersecting_components(boxes, component)
+        for child, child_comp in zip(node.children, child_components):
+            if child_comp is None:
+                continue
+            if child.sub.n_entries == 0:
+                continue  # empty subtree
+            so += _evaluate_rec(tree, child, child_comp, spec, collector, stats)
+    return so

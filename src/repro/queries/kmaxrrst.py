@@ -1,0 +1,197 @@
+"""The kMaxRRST query: best-first top-k facilities (paper Section IV-B).
+
+Implements Algorithms 3 (``TopKFacilities``) and 4 (``relaxState``).  Each
+candidate facility carries an exploration *state*: the frontier of
+``(q-node, facility-component)`` pairs still to be expanded, the exact
+service accumulated so far (``aserve``), and the optimistic bound for the
+unexplored frontier (``hserve``, the sum of the frontier nodes' ``sub``).
+A max-priority queue on ``fserve = aserve + hserve`` drives exploration;
+a state that pops with an empty frontier is *complete* and its ``aserve``
+is its exact service value.
+
+Because ``fserve`` never increases under relaxation (exact scores replace
+their own upper bounds, pruned children vanish), the first k completed
+pops are exactly the top-k — the early-termination argument of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+from ..core.errors import QueryError
+from ..core.service import ServiceSpec
+from ..core.trajectory import FacilityRoute
+from ..index.tqtree import QNode, TQTree
+from .components import FacilityComponent, intersecting_components
+from .evaluate import (
+    QueryStats,
+    evaluate_node_trajectories,
+    needs_ancestor_scan,
+)
+
+__all__ = ["FacilityScore", "KMaxRRSTResult", "top_k_facilities"]
+
+
+@dataclass(frozen=True)
+class FacilityScore:
+    """One ranked answer: a facility and its exact service value."""
+
+    facility: FacilityRoute
+    service: float
+
+
+@dataclass(frozen=True)
+class KMaxRRSTResult:
+    """The top-k answer plus work counters."""
+
+    ranking: Tuple[FacilityScore, ...]
+    stats: QueryStats
+
+    def facilities(self) -> Tuple[FacilityRoute, ...]:
+        return tuple(fs.facility for fs in self.ranking)
+
+    def services(self) -> Tuple[float, ...]:
+        return tuple(fs.service for fs in self.ranking)
+
+
+@dataclass
+class _State:
+    """Exploration state ``S`` of Algorithm 3."""
+
+    facility: FacilityRoute
+    qflist: List[Tuple[QNode, FacilityComponent]]
+    aserve: float
+    hserve: float
+
+    @property
+    def fserve(self) -> float:
+        return self.aserve + self.hserve
+
+    @property
+    def complete(self) -> bool:
+        return not self.qflist
+
+
+def _initial_state(
+    tree: TQTree,
+    facility: FacilityRoute,
+    spec: ServiceSpec,
+    stats: QueryStats,
+) -> _State:
+    """Lines 3.3–3.8 of Algorithm 3, with the ancestor correction.
+
+    The paper anchors the state at ``containingQNode(f)``.  Entries stored
+    at that node's *ancestors* can still score under partial-service
+    models (a long inter-node trajectory may have interior points inside
+    the serving envelope), so those ancestor lists — at most tree-height
+    many — are evaluated exactly into ``aserve`` up front.
+    """
+    whole = FacilityComponent.whole(facility, spec.psi)
+    embr = whole.embr
+    if embr is None:
+        return _State(facility, [], 0.0, 0.0)
+    anchor = tree.containing_qnode(embr)
+    component = whole.restricted_to(anchor.box)
+    aserve = 0.0
+    if needs_ancestor_scan(spec, tree.config.variant):
+        for ancestor in tree.ancestors(anchor):
+            ancestor_comp = whole.restricted_to(ancestor.box)
+            aserve += evaluate_node_trajectories(
+                tree, ancestor, ancestor_comp, spec, stats=stats
+            )
+    if component.is_empty:
+        return _State(facility, [], aserve, 0.0)
+    return _State(
+        facility, [(anchor, component)], aserve, anchor.sub_value(spec)
+    )
+
+
+def _relax_state(
+    tree: TQTree, state: _State, spec: ServiceSpec, stats: QueryStats
+) -> _State:
+    """Algorithm 4: expand every frontier pair one level."""
+    stats.states_relaxed += 1
+    aserve = state.aserve
+    hserve = 0.0
+    qflist: List[Tuple[QNode, FacilityComponent]] = []
+    for node, component in state.qflist:
+        stats.nodes_visited += 1
+        aserve += evaluate_node_trajectories(tree, node, component, spec, stats=stats)
+        if node.children is None:
+            continue
+        boxes = [child.box for child in node.children]
+        for child, child_comp in zip(
+            node.children, intersecting_components(boxes, component)
+        ):
+            if child_comp is None or child.sub.n_entries == 0:
+                continue
+            qflist.append((child, child_comp))
+            hserve += child.sub_value(spec)
+    return _State(state.facility, qflist, aserve, hserve)
+
+
+def top_k_facilities(
+    tree: TQTree,
+    facilities: Sequence[FacilityRoute],
+    k: int,
+    spec: ServiceSpec,
+) -> KMaxRRSTResult:
+    """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
+
+    Returns the exact ranking (service values included) in descending
+    order of service.  ``k`` larger than ``len(facilities)`` returns
+    everything ranked.
+
+    Early termination (Section IV-B): every state's ``aserve`` is a lower
+    bound on its final service, so the k-th largest ``aserve`` seen so far
+    is a global threshold — a state whose upper bound ``fserve`` falls
+    strictly below it can never enter the top-k and is dropped instead of
+    being relaxed further.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    tree.validate_spec(spec)
+    stats = QueryStats()
+    counter = itertools.count()
+    k = min(k, len(facilities))
+
+    # Best lower bound per *distinct* facility (a facility produces one
+    # observation per relaxation; dedup keeps the threshold honest: the
+    # k-th value must come from k different facilities).
+    best_lower: Dict[int, float] = {}
+    threshold_cache: List[Optional[float]] = [None]
+
+    def observe_lower_bound(facility_id: int, value: float) -> None:
+        if value > best_lower.get(facility_id, float("-inf")):
+            best_lower[facility_id] = value
+            threshold_cache[0] = None
+
+    def threshold() -> float:
+        if len(best_lower) < k:
+            return float("-inf")
+        if threshold_cache[0] is None:
+            threshold_cache[0] = sorted(best_lower.values(), reverse=True)[k - 1]
+        return threshold_cache[0]
+
+    heap: List[Tuple[float, int, _State]] = []
+    for facility in facilities:
+        state = _initial_state(tree, facility, spec, stats)
+        observe_lower_bound(facility.facility_id, state.aserve)
+        heapq.heappush(heap, (-state.fserve, next(counter), state))
+
+    ranking: List[FacilityScore] = []
+    while heap and len(ranking) < k:
+        _, _, state = heapq.heappop(heap)
+        if state.complete:
+            ranking.append(FacilityScore(state.facility, state.aserve))
+            continue
+        if state.fserve < threshold():
+            stats.states_pruned += 1
+            continue  # can never reach the top-k
+        relaxed = _relax_state(tree, state, spec, stats)
+        observe_lower_bound(state.facility.facility_id, relaxed.aserve)
+        heapq.heappush(heap, (-relaxed.fserve, next(counter), relaxed))
+    return KMaxRRSTResult(tuple(ranking), stats)

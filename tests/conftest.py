@@ -1,0 +1,59 @@
+"""Shared fixtures: a small deterministic city with users and facilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BBox,
+    CityModel,
+    ServiceModel,
+    ServiceSpec,
+    generate_bus_routes,
+    generate_checkin_trajectories,
+    generate_taxi_trips,
+)
+
+# A compact test city: small enough that every oracle comparison is fast,
+# dense enough that facilities genuinely serve users.
+TEST_PSI = 400.0
+
+
+@pytest.fixture(scope="session")
+def city() -> CityModel:
+    return CityModel.generate(seed=11, size=10_000.0, n_hotspots=6)
+
+
+@pytest.fixture(scope="session")
+def taxi_users(city):
+    return generate_taxi_trips(400, city, seed=1)
+
+
+@pytest.fixture(scope="session")
+def checkin_users(city):
+    return generate_checkin_trajectories(150, city, seed=2, min_points=3, max_points=8)
+
+
+@pytest.fixture(scope="session")
+def facilities(city):
+    return generate_bus_routes(12, city, seed=3, n_stops=16)
+
+
+@pytest.fixture(scope="session")
+def endpoint_spec() -> ServiceSpec:
+    return ServiceSpec(ServiceModel.ENDPOINT, psi=TEST_PSI)
+
+
+@pytest.fixture(scope="session")
+def count_spec() -> ServiceSpec:
+    return ServiceSpec(ServiceModel.COUNT, psi=TEST_PSI)
+
+
+@pytest.fixture(scope="session")
+def length_spec() -> ServiceSpec:
+    return ServiceSpec(ServiceModel.LENGTH, psi=TEST_PSI)
+
+
+@pytest.fixture(scope="session")
+def unit_box() -> BBox:
+    return BBox(0.0, 0.0, 1000.0, 1000.0)

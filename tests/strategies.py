@@ -1,0 +1,59 @@
+"""Hypothesis strategies for geometric and trajectory inputs.
+
+All strategies confine coordinates to a fixed box so generated data is
+always indexable, and round coordinates to a coarse grid often enough to
+exercise ties (shared endpoints, duplicate points, boundary cases) that
+uniform floats would almost never produce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import BBox, FacilityRoute, Point, Trajectory
+
+WORLD = BBox(0.0, 0.0, 1024.0, 1024.0)
+
+
+def coords(grid: float = 0.25):
+    """A coordinate inside WORLD, snapped to ``grid`` to provoke ties."""
+    cells = int(1024.0 / grid)
+    return st.integers(min_value=0, max_value=cells).map(lambda i: i * grid)
+
+
+@st.composite
+def points(draw) -> Point:
+    return Point(draw(coords()), draw(coords()))
+
+
+@st.composite
+def trajectories(draw, min_points: int = 2, max_points: int = 6, traj_id=None) -> Trajectory:
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    pts = [draw(points()) for _ in range(n)]
+    tid = draw(st.integers(min_value=0, max_value=10**6)) if traj_id is None else traj_id
+    return Trajectory(tid, pts)
+
+
+@st.composite
+def trajectory_sets(draw, min_size: int = 1, max_size: int = 24, **kw):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [draw(trajectories(traj_id=i, **kw)) for i in range(n)]
+
+
+@st.composite
+def facilities(draw, min_stops: int = 1, max_stops: int = 12, facility_id=None) -> FacilityRoute:
+    n = draw(st.integers(min_value=min_stops, max_value=max_stops))
+    stops = [draw(points()) for _ in range(n)]
+    fid = draw(st.integers(min_value=0, max_value=10**6)) if facility_id is None else facility_id
+    return FacilityRoute(fid, stops)
+
+
+@st.composite
+def facility_sets(draw, min_size: int = 1, max_size: int = 8, **kw):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [draw(facilities(facility_id=i, **kw)) for i in range(n)]
+
+
+def psis():
+    """Serving distances from tiny to world-spanning."""
+    return st.sampled_from([0.0, 1.0, 10.0, 50.0, 200.0, 800.0])

@@ -1,0 +1,262 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CityModel,
+    DatasetError,
+    generate_bus_routes,
+    generate_checkin_trajectories,
+    generate_gps_traces,
+    generate_taxi_trips,
+)
+from repro.datasets import summarize_facilities, summarize_users
+from repro.datasets.city import Hotspot
+from repro.core.geometry import BBox, Point
+
+
+class TestCityModel:
+    def test_generate_deterministic(self):
+        a = CityModel.generate(seed=5)
+        b = CityModel.generate(seed=5)
+        assert [h.center for h in a.hotspots] == [h.center for h in b.hotspots]
+
+    def test_different_seeds_differ(self):
+        a = CityModel.generate(seed=5)
+        b = CityModel.generate(seed=6)
+        assert [h.center for h in a.hotspots] != [h.center for h in b.hotspots]
+
+    def test_requires_hotspots(self):
+        with pytest.raises(DatasetError):
+            CityModel(BBox(0, 0, 1, 1), [])
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            CityModel.generate(n_hotspots=0)
+        with pytest.raises(DatasetError):
+            CityModel.generate(size=-10)
+        hotspot = Hotspot(Point(0.5, 0.5), 0.1, 1.0)
+        with pytest.raises(DatasetError):
+            CityModel(BBox(0, 0, 1, 1), [hotspot], background_prob=1.5)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(DatasetError):
+            CityModel(BBox(0, 0, 1, 1), [Hotspot(Point(0.5, 0.5), 0.1, 0.0)])
+
+    def test_samples_stay_in_bounds(self):
+        city = CityModel.generate(seed=1, size=1000.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = city.sample_location(rng)
+            assert city.bounds.contains_point(p)
+
+    def test_sample_near_scale_zero(self):
+        city = CityModel.generate(seed=1, size=1000.0)
+        rng = np.random.default_rng(0)
+        origin = Point(500, 500)
+        assert city.sample_near(origin, 0.0, rng) == origin
+
+    def test_destination_decay_prefers_nearby(self):
+        """With strong decay, destinations cluster near the origin's hotspot."""
+        city = CityModel.generate(seed=3, size=10_000.0, n_hotspots=8)
+        rng = np.random.default_rng(0)
+        origin = city.hotspots[0].center
+        near = sum(
+            1
+            for _ in range(100)
+            if city.sample_destination(origin, rng, decay=500.0).dist_to(origin) < 5000
+        )
+        assert near > 50
+
+
+class TestTaxi:
+    def test_counts_and_shape(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        trips = generate_taxi_trips(50, city, seed=2)
+        assert len(trips) == 50
+        assert all(t.n_points == 2 for t in trips)
+        assert [t.traj_id for t in trips] == list(range(50))
+
+    def test_deterministic(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        a = generate_taxi_trips(20, city, seed=2)
+        b = generate_taxi_trips(20, city, seed=2)
+        assert a == b
+
+    def test_start_id_offset(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        trips = generate_taxi_trips(5, city, seed=2, start_id=100)
+        assert [t.traj_id for t in trips] == [100, 101, 102, 103, 104]
+
+    def test_negative_count_rejected(self):
+        city = CityModel.generate(seed=1)
+        with pytest.raises(DatasetError):
+            generate_taxi_trips(-1, city)
+
+    def test_min_trip_dist_mostly_respected(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        trips = generate_taxi_trips(100, city, seed=2, min_trip_dist=1000.0)
+        short = sum(1 for t in trips if t.length < 1000.0)
+        assert short <= 10  # resampling keeps rare degenerate trips only
+
+    def test_zero_trips(self):
+        city = CityModel.generate(seed=1)
+        assert generate_taxi_trips(0, city) == []
+
+
+class TestCheckins:
+    def test_point_count_range(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        out = generate_checkin_trajectories(40, city, seed=3, min_points=3, max_points=7)
+        assert len(out) == 40
+        assert all(3 <= t.n_points <= 7 for t in out)
+
+    def test_invalid_point_range(self):
+        city = CityModel.generate(seed=1)
+        with pytest.raises(DatasetError):
+            generate_checkin_trajectories(5, city, min_points=5, max_points=3)
+        with pytest.raises(DatasetError):
+            generate_checkin_trajectories(5, city, min_points=0, max_points=3)
+
+    def test_deterministic(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        assert generate_checkin_trajectories(10, city, seed=4) == \
+            generate_checkin_trajectories(10, city, seed=4)
+
+    def test_all_points_in_bounds(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        for t in generate_checkin_trajectories(30, city, seed=5):
+            for p in t.points:
+                assert city.bounds.contains_point(p)
+
+    def test_hops_are_local(self):
+        """With jump_prob=0, consecutive check-ins stay within a few
+        hop-scales of each other."""
+        city = CityModel.generate(seed=1, size=50_000.0)
+        out = generate_checkin_trajectories(
+            20, city, seed=6, hop_scale=100.0, jump_prob=0.0
+        )
+        for t in out:
+            for a, b in zip(t.points, t.points[1:]):
+                assert a.dist_to(b) < 1000.0
+
+
+class TestGeolife:
+    def test_counts_and_range(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        out = generate_gps_traces(15, city, seed=7, min_points=10, max_points=20)
+        assert len(out) == 15
+        assert all(10 <= t.n_points <= 20 for t in out)
+
+    def test_invalid_params(self):
+        city = CityModel.generate(seed=1)
+        with pytest.raises(DatasetError):
+            generate_gps_traces(5, city, min_points=1, max_points=3)
+        with pytest.raises(DatasetError):
+            generate_gps_traces(5, city, step_mean=0.0)
+        with pytest.raises(DatasetError):
+            generate_gps_traces(-1, city)
+
+    def test_all_points_in_bounds(self):
+        city = CityModel.generate(seed=1, size=3000.0)
+        for t in generate_gps_traces(20, city, seed=8):
+            for p in t.points:
+                assert city.bounds.contains_point(p)
+
+    def test_steps_have_gps_scale(self):
+        city = CityModel.generate(seed=1, size=50_000.0)
+        out = generate_gps_traces(10, city, seed=9, step_mean=100.0)
+        steps = [
+            a.dist_to(b) for t in out for a, b in zip(t.points, t.points[1:])
+        ]
+        assert 20.0 < float(np.mean(steps)) < 500.0
+
+    def test_deterministic(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        assert generate_gps_traces(5, city, seed=10) == generate_gps_traces(
+            5, city, seed=10
+        )
+
+
+class TestBusRoutes:
+    def test_counts(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(12, city, seed=11, n_stops=32)
+        assert len(routes) == 12
+        assert all(r.n_stops == 32 for r in routes)
+
+    def test_natural_stop_spacing(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(8, city, seed=12, stop_spacing=400.0)
+        for r in routes:
+            assert r.n_stops >= 2
+            spacings = [
+                r.stops[i].dist_to(r.stops[i + 1]) for i in range(r.n_stops - 1)
+            ]
+            assert float(np.mean(spacings)) < 1200.0
+
+    def test_invalid_params(self):
+        city = CityModel.generate(seed=1)
+        with pytest.raises(DatasetError):
+            generate_bus_routes(-1, city)
+        with pytest.raises(DatasetError):
+            generate_bus_routes(2, city, n_stops=0)
+        with pytest.raises(DatasetError):
+            generate_bus_routes(2, city, stop_spacing=-5.0)
+        with pytest.raises(DatasetError):
+            generate_bus_routes(2, city, grid=0.0)
+
+    def test_deterministic(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        assert generate_bus_routes(4, city, seed=13, n_stops=16) == \
+            generate_bus_routes(4, city, seed=13, n_stops=16)
+
+    def test_routes_are_manhattan_like(self):
+        """Consecutive stops mostly move along one axis at a time."""
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(6, city, seed=14, n_stops=24)
+        axis_aligned = 0
+        total = 0
+        for r in routes:
+            for a, b in zip(r.stops, r.stops[1:]):
+                total += 1
+                if abs(a.x - b.x) < 1e-6 or abs(a.y - b.y) < 1e-6:
+                    axis_aligned += 1
+        assert axis_aligned / total > 0.8
+
+    def test_single_stop_routes(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(3, city, seed=15, n_stops=1)
+        assert all(r.n_stops == 1 for r in routes)
+
+
+class TestSummaries:
+    def test_user_summary_point_to_point(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        trips = generate_taxi_trips(25, city, seed=2)
+        s = summarize_users("NYT-like", trips)
+        assert s.n_trajectories == 25
+        assert s.kind == "point-to-point"
+        assert s.n_points == 50
+
+    def test_user_summary_multipoint(self):
+        city = CityModel.generate(seed=1, size=5000.0)
+        checkins = generate_checkin_trajectories(10, city, seed=3)
+        s = summarize_users("NYF-like", checkins)
+        assert s.kind == "multipoint"
+        assert s.mean_points == pytest.approx(s.n_points / 10)
+
+    def test_facility_summary(self):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(5, city, seed=4, n_stops=10)
+        s = summarize_facilities("NY-like", routes)
+        assert s.n_facilities == 5
+        assert s.n_stop_points == 50
+        assert s.mean_stops == 10.0
+
+    def test_empty_summaries(self):
+        assert summarize_users("x", []).n_trajectories == 0
+        assert summarize_facilities("x", []).mean_stops == 0.0

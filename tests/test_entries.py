@@ -1,0 +1,205 @@
+"""Unit tests for index entries: decomposition, ownership, scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import (
+    FacilityRoute,
+    IndexVariant,
+    Point,
+    QueryError,
+    ServiceModel,
+    ServiceSpec,
+    StopSet,
+    Trajectory,
+)
+from repro.core.service import score_trajectory
+from repro.index.entries import (
+    IndexEntry,
+    SubBounds,
+    make_entries,
+    validate_spec_for_variant,
+)
+
+from .strategies import trajectories
+
+
+def spec(model, psi=5.0, normalize=False):
+    return ServiceSpec(model, psi=psi, normalize=normalize)
+
+
+class TestMakeEntries:
+    def test_endpoint_single_entry(self):
+        t = Trajectory(1, [(0, 0), (5, 5), (9, 9)])
+        entries = make_entries(t, IndexVariant.ENDPOINT)
+        assert len(entries) == 1
+        e = entries[0]
+        assert e.gov_start == Point(0, 0)
+        assert e.gov_end == Point(9, 9)
+        assert e.own_point_idx == (0, 2)
+
+    def test_endpoint_two_point_owns_segment(self):
+        t = Trajectory(1, [(0, 0), (5, 5)])
+        (e,) = make_entries(t, IndexVariant.ENDPOINT)
+        assert e.own_seg_idx == (0,)
+
+    def test_segmented_one_per_segment(self):
+        t = Trajectory(1, [(0, 0), (1, 0), (2, 0), (3, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        assert len(entries) == 3
+        assert [e.seg_index for e in entries] == [0, 1, 2]
+        assert entries[0].gov_start == Point(0, 0)
+        assert entries[0].gov_end == Point(1, 0)
+        assert entries[2].gov_end == Point(3, 0)
+
+    def test_segmented_point_ownership_partitions(self):
+        t = Trajectory(1, [(0, 0), (1, 0), (2, 0), (3, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        owned = sorted(i for e in entries for i in e.own_point_idx)
+        assert owned == [0, 1, 2, 3]  # every point exactly once
+
+    def test_segmented_segment_ownership_partitions(self):
+        t = Trajectory(1, [(0, 0), (1, 0), (2, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        owned = sorted(i for e in entries for i in e.own_seg_idx)
+        assert owned == [0, 1]
+
+    def test_segmented_single_point(self):
+        t = Trajectory(1, [(0, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        assert len(entries) == 1
+        assert entries[0].own_point_idx == (0,)
+        assert entries[0].own_seg_idx == ()
+
+    def test_full_owns_everything(self):
+        t = Trajectory(1, [(0, 0), (1, 0), (2, 0)])
+        (e,) = make_entries(t, IndexVariant.FULL)
+        assert e.own_point_idx == (0, 1, 2)
+        assert e.own_seg_idx == (0, 1)
+        assert len(e.placement_points) == 3
+
+    @given(trajectories(min_points=1, max_points=8))
+    def test_ownership_partition_property(self, t):
+        for variant in (IndexVariant.SEGMENTED, IndexVariant.FULL):
+            entries = make_entries(t, variant)
+            pts = sorted(i for e in entries for i in e.own_point_idx)
+            segs = sorted(i for e in entries for i in e.own_seg_idx)
+            assert pts == list(range(t.n_points))
+            assert segs == list(range(t.n_segments))
+
+    def test_entry_ids_unique(self):
+        t = Trajectory(5, [(0, 0), (1, 0), (2, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        assert len({e.entry_id for e in entries}) == len(entries)
+
+
+class TestEntryScoring:
+    def test_endpoint_entry_score(self):
+        t = Trajectory(1, [(0, 0), (100, 0)])
+        (e,) = make_entries(t, IndexVariant.ENDPOINT)
+        near_both = StopSet(np.array([[0.0, 1.0], [100.0, 1.0]]))
+        near_one = StopSet(np.array([[0.0, 1.0]]))
+        sp = spec(ServiceModel.ENDPOINT)
+        assert e.score(near_both, sp) == 1.0
+        assert e.score(near_one, sp) == 0.0
+
+    def test_summed_entry_scores_equal_trajectory_score(self):
+        """Entry scores over a partitioned trajectory reassemble S(u, f)."""
+        t = Trajectory(1, [(0, 0), (10, 0), (20, 0), (35, 0)])
+        stops = StopSet(np.array([[10.0, 2.0], [20.0, 2.0]]))
+        for variant in (IndexVariant.SEGMENTED, IndexVariant.FULL):
+            entries = make_entries(t, variant)
+            for model in (ServiceModel.COUNT, ServiceModel.LENGTH):
+                for norm in (True, False):
+                    sp = spec(model, psi=5.0, normalize=norm)
+                    total = sum(e.score(stops, sp) for e in entries)
+                    assert total == pytest.approx(score_trajectory(t, stops, sp))
+
+    def test_upper_bound_dominates_score(self):
+        t = Trajectory(1, [(0, 0), (10, 0), (20, 0)])
+        stops = StopSet(np.array([[5.0, 0.0]]))
+        for variant in IndexVariant:
+            entries = make_entries(t, variant)
+            for model in ServiceModel:
+                if model is ServiceModel.ENDPOINT and variant is IndexVariant.SEGMENTED:
+                    continue
+                for norm in (True, False):
+                    sp = spec(model, psi=50.0, normalize=norm)
+                    for e in entries:
+                        assert e.score(stops, sp) <= e.upper_bound(sp) + 1e-12
+
+    def test_matches_report_covered_owned_points(self):
+        t = Trajectory(1, [(0, 0), (10, 0), (500, 0)])
+        entries = make_entries(t, IndexVariant.SEGMENTED)
+        stops = StopSet(np.array([[0.0, 1.0], [10.0, 1.0]]))
+        got = sorted(i for e in entries for i in e.matches(stops, 5.0))
+        assert got == [0, 0, 1, 1] or set(got) == {0, 1}
+
+    def test_full_entry_matches_all_covered(self):
+        t = Trajectory(1, [(0, 0), (10, 0), (500, 0)])
+        (e,) = make_entries(t, IndexVariant.FULL)
+        stops = StopSet(np.array([[0.0, 1.0], [500.0, 1.0]]))
+        assert e.matches(stops, 5.0) == (0, 2)
+
+
+class TestValidateSpec:
+    def test_endpoint_on_segmented_rejected(self):
+        with pytest.raises(QueryError):
+            validate_spec_for_variant(
+                spec(ServiceModel.ENDPOINT), IndexVariant.SEGMENTED, 2
+            )
+
+    def test_count_on_endpoint_multipoint_rejected(self):
+        with pytest.raises(QueryError):
+            validate_spec_for_variant(spec(ServiceModel.COUNT), IndexVariant.ENDPOINT, 3)
+
+    def test_count_on_endpoint_two_point_allowed(self):
+        validate_spec_for_variant(spec(ServiceModel.COUNT), IndexVariant.ENDPOINT, 2)
+
+    def test_everything_allowed_on_full(self):
+        for model in ServiceModel:
+            validate_spec_for_variant(spec(model), IndexVariant.FULL, 10)
+
+
+class TestSubBounds:
+    def test_additivity(self):
+        t1 = Trajectory(1, [(0, 0), (10, 0)])
+        t2 = Trajectory(2, [(0, 0), (10, 0), (20, 0)])
+        a, b, merged = SubBounds(), SubBounds(), SubBounds()
+        for e in make_entries(t1, IndexVariant.FULL):
+            a.add_entry(e)
+            merged.add_entry(e)
+        for e in make_entries(t2, IndexVariant.FULL):
+            b.add_entry(e)
+            merged.add_entry(e)
+        combined = SubBounds()
+        combined.add(a)
+        combined.add(b)
+        for sp in (
+            spec(ServiceModel.ENDPOINT),
+            spec(ServiceModel.COUNT),
+            spec(ServiceModel.COUNT, normalize=True),
+            spec(ServiceModel.LENGTH),
+            spec(ServiceModel.LENGTH, normalize=True),
+        ):
+            assert combined.value_for(sp) == pytest.approx(merged.value_for(sp))
+
+    def test_normalized_bounds_are_one_per_trajectory(self):
+        t = Trajectory(1, [(0, 0), (10, 0), (30, 0)])
+        sub = SubBounds()
+        for e in make_entries(t, IndexVariant.SEGMENTED):
+            sub.add_entry(e)
+        assert sub.value_for(spec(ServiceModel.COUNT, normalize=True)) == pytest.approx(1.0)
+        assert sub.value_for(spec(ServiceModel.LENGTH, normalize=True)) == pytest.approx(1.0)
+
+    def test_raw_bounds_count_units(self):
+        t = Trajectory(1, [(0, 0), (3, 4), (6, 8)])
+        sub = SubBounds()
+        for e in make_entries(t, IndexVariant.FULL):
+            sub.add_entry(e)
+        assert sub.value_for(spec(ServiceModel.COUNT)) == 3.0
+        assert sub.value_for(spec(ServiceModel.LENGTH)) == pytest.approx(10.0)
+        assert sub.value_for(spec(ServiceModel.ENDPOINT)) == 1.0

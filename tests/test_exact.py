@@ -1,0 +1,132 @@
+"""Tests for the exact (branch & bound) MaxkCovRST solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    CoverageState,
+    QueryError,
+    ServiceModel,
+    ServiceSpec,
+    TQTree,
+    TQTreeConfig,
+    approximation_ratio,
+    brute_force_combined_service,
+    brute_force_matches,
+    exact_max_k_coverage,
+    genetic_max_k_coverage,
+    greedy_max_k_coverage,
+)
+from repro.queries import tq_match_fn
+
+from .strategies import WORLD, facility_sets, psis, trajectory_sets
+
+
+def oracle_best(users, facs, k, spec):
+    """Literal enumeration of all size-k combinations."""
+    best = 0.0
+    for combo in itertools.combinations(facs, min(k, len(facs))):
+        best = max(best, brute_force_combined_service(users, list(combo), spec))
+    return best
+
+
+def match_fn_for(users, spec):
+    def fn(f):
+        return brute_force_matches(users, f, spec.psi)
+
+    return fn
+
+
+class TestExact:
+    def test_matches_enumeration_on_fixture(self, taxi_users, facilities, endpoint_spec):
+        result = exact_max_k_coverage(
+            taxi_users, facilities, 2, endpoint_spec,
+            match_fn_for(taxi_users, endpoint_spec),
+        )
+        assert result.combined_service == pytest.approx(
+            oracle_best(taxi_users, facilities, 2, endpoint_spec)
+        )
+
+    def test_dominates_greedy_and_genetic(self, taxi_users, facilities, endpoint_spec):
+        fn = match_fn_for(taxi_users, endpoint_spec)
+        exact = exact_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        greedy = greedy_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        ga = genetic_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        assert exact.combined_service >= greedy.combined_service - 1e-9
+        assert exact.combined_service >= ga.combined_service - 1e-9
+
+    def test_invalid_k(self, taxi_users, facilities, endpoint_spec):
+        with pytest.raises(QueryError):
+            exact_max_k_coverage(taxi_users, facilities, 0, endpoint_spec, lambda f: {})
+
+    def test_empty_facilities(self, taxi_users, endpoint_spec):
+        result = exact_max_k_coverage(taxi_users, [], 2, endpoint_spec, lambda f: {})
+        assert result.selection == ()
+
+    def test_k_covers_all_facilities(self, taxi_users, facilities, endpoint_spec):
+        fn = match_fn_for(taxi_users, endpoint_spec)
+        result = exact_max_k_coverage(
+            taxi_users, facilities, len(facilities), endpoint_spec, fn
+        )
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(taxi_users, list(facilities), endpoint_spec)
+        )
+
+    def test_count_model(self, checkin_users, facilities, count_spec):
+        fn = match_fn_for(checkin_users, count_spec)
+        result = exact_max_k_coverage(checkin_users, facilities[:6], 2, count_spec, fn)
+        assert result.combined_service == pytest.approx(
+            oracle_best(checkin_users, facilities[:6], 2, count_spec)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=10, min_points=2, max_points=2),
+        facility_sets(min_size=1, max_size=6),
+        psis(),
+    )
+    def test_random_instances_match_enumeration(self, users, facs, psi):
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=psi)
+        fn = match_fn_for(users, spec)
+        result = exact_max_k_coverage(users, facs, 3, spec, fn)
+        assert result.combined_service == pytest.approx(
+            oracle_best(users, facs, 3, spec)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=8, min_points=2, max_points=4),
+        facility_sets(min_size=1, max_size=5),
+        psis(),
+    )
+    def test_random_count_instances(self, users, facs, psi):
+        spec = ServiceSpec(ServiceModel.COUNT, psi=psi, normalize=False)
+        fn = match_fn_for(users, spec)
+        result = exact_max_k_coverage(users, facs, 2, spec, fn)
+        assert result.combined_service == pytest.approx(
+            oracle_best(users, facs, 2, spec)
+        )
+
+
+class TestApproximationRatio:
+    def test_ratio_bounds(self, taxi_users, facilities, endpoint_spec):
+        fn = match_fn_for(taxi_users, endpoint_spec)
+        exact = exact_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        greedy = greedy_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        ratio = approximation_ratio(greedy, exact)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_zero_optimum_gives_one(self):
+        from repro.queries.maxkcov import MaxKCovResult
+
+        empty = MaxKCovResult((), 0.0, 0, ())
+        assert approximation_ratio(empty, empty) == 1.0
+
+    def test_identical_results_give_one(self, taxi_users, facilities, endpoint_spec):
+        fn = match_fn_for(taxi_users, endpoint_spec)
+        exact = exact_max_k_coverage(taxi_users, facilities, 2, endpoint_spec, fn)
+        assert approximation_ratio(exact, exact) == 1.0

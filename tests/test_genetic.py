@@ -1,0 +1,141 @@
+"""Tests for the genetic MaxkCovRST solver (Gn-TQ(Z))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FacilityRoute,
+    GeneticConfig,
+    QueryError,
+    ServiceModel,
+    ServiceSpec,
+    TQTree,
+    TQTreeConfig,
+    Trajectory,
+    brute_force_combined_service,
+    build_tq_zorder,
+    genetic_max_k_coverage,
+    greedy_max_k_coverage,
+)
+from repro.queries import tq_match_fn
+
+from .strategies import WORLD
+
+
+class TestGeneticConfig:
+    def test_defaults_follow_paper(self):
+        assert GeneticConfig().iterations == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"iterations": -1},
+            {"tournament_size": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"elitism": 99},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            GeneticConfig(**kwargs)
+
+
+class TestGeneticSolver:
+    def _setup(self, taxi_users, facilities, spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        return tq_match_fn(tree, spec)
+
+    def test_returns_k_subset(self, taxi_users, facilities, endpoint_spec):
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        result = genetic_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        assert len(result.selection) == 3
+        assert len(set(result.facility_ids())) == 3
+
+    def test_value_is_exact_for_selection(self, taxi_users, facilities, endpoint_spec):
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        result = genetic_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(
+                taxi_users, list(result.selection), endpoint_spec
+            )
+        )
+
+    def test_deterministic_under_seed(self, taxi_users, facilities, endpoint_spec):
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        cfg = GeneticConfig(seed=42)
+        a = genetic_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn, cfg)
+        b = genetic_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn, cfg)
+        assert a.facility_ids() == b.facility_ids()
+        assert a.combined_service == b.combined_service
+
+    def test_more_iterations_no_worse(self, taxi_users, facilities, endpoint_spec):
+        """Elitism makes best fitness monotone in generations."""
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        short = genetic_max_k_coverage(
+            taxi_users, facilities, 3, endpoint_spec, fn, GeneticConfig(iterations=0, seed=5)
+        )
+        long = genetic_max_k_coverage(
+            taxi_users, facilities, 3, endpoint_spec, fn, GeneticConfig(iterations=25, seed=5)
+        )
+        assert long.combined_service >= short.combined_service - 1e-9
+
+    def test_k_equals_n_facilities(self, taxi_users, facilities, endpoint_spec):
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        result = genetic_max_k_coverage(
+            taxi_users, facilities, len(facilities), endpoint_spec, fn
+        )
+        assert len(result.selection) == len(facilities)
+
+    def test_k_larger_than_n_clamped(self, taxi_users, facilities, endpoint_spec):
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        result = genetic_max_k_coverage(
+            taxi_users, facilities, len(facilities) + 5, endpoint_spec, fn
+        )
+        assert len(result.selection) == len(facilities)
+
+    def test_empty_facilities(self, taxi_users, endpoint_spec):
+        result = genetic_max_k_coverage(
+            taxi_users, [], 3, endpoint_spec, lambda f: {}
+        )
+        assert result.selection == ()
+        assert result.combined_service == 0.0
+
+    def test_invalid_k(self, taxi_users, facilities, endpoint_spec):
+        with pytest.raises(QueryError):
+            genetic_max_k_coverage(taxi_users, facilities, 0, endpoint_spec, lambda f: {})
+
+    def test_finds_obvious_optimum(self):
+        """Tiny instance where one pair is clearly optimal: the GA with a
+        healthy budget should find it."""
+        users = [Trajectory(i, [(0, i * 10), (1000, i * 10)]) for i in range(8)]
+        good_a = FacilityRoute(0, [(0, 40)])
+        good_b = FacilityRoute(1, [(1000, 40)])
+        decoys = [FacilityRoute(2 + i, [(500, 500 + i)]) for i in range(4)]
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=100.0)
+        tree = TQTree.build(users, TQTreeConfig(beta=4), space=WORLD)
+        result = genetic_max_k_coverage(
+            users,
+            [good_a, good_b, *decoys],
+            2,
+            spec,
+            tq_match_fn(tree, spec),
+            GeneticConfig(population_size=16, iterations=30, seed=3),
+        )
+        assert set(result.facility_ids()) == {0, 1}
+
+    def test_never_beats_exact_optimum(self, taxi_users, facilities, endpoint_spec):
+        """GA and greedy can outrank each other on a non-submodular
+        objective, but neither may exceed the exact optimum."""
+        from repro import exact_max_k_coverage
+
+        fn = self._setup(taxi_users, facilities, endpoint_spec)
+        ga = genetic_max_k_coverage(
+            taxi_users, facilities, 3, endpoint_spec, fn, GeneticConfig(seed=1)
+        )
+        greedy = greedy_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        exact = exact_max_k_coverage(taxi_users, facilities, 3, endpoint_spec, fn)
+        assert ga.combined_service <= exact.combined_service + 1e-9
+        assert greedy.combined_service <= exact.combined_service + 1e-9

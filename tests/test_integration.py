@@ -1,0 +1,156 @@
+"""End-to-end integration tests mirroring the paper's three scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BaselineIndex,
+    CityModel,
+    ServiceModel,
+    ServiceSpec,
+    brute_force_service,
+    build_full,
+    build_segmented,
+    build_tq_basic,
+    build_tq_zorder,
+    evaluate_service,
+    generate_bus_routes,
+    generate_checkin_trajectories,
+    generate_gps_traces,
+    generate_taxi_trips,
+    maxkcov_tq,
+    segment_dataset,
+    top_k_facilities,
+)
+from repro.queries import tq_match_fn
+
+
+@pytest.fixture(scope="module")
+def big_city():
+    return CityModel.generate(seed=21, size=20_000.0, n_hotspots=8)
+
+
+class TestScenario1CommuterRouting:
+    """Paper Scenario 1: serve commuters whose source and destination are
+    both within psi of a stop (the NYT experiment setup)."""
+
+    def test_three_indexes_agree_end_to_end(self, big_city):
+        users = generate_taxi_trips(1500, big_city, seed=1)
+        buses = generate_bus_routes(24, big_city, seed=2, n_stops=24)
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=350.0)
+
+        tz = build_tq_zorder(users, beta=32)
+        tb = build_tq_basic(users, beta=32)
+        bl = BaselineIndex.build(users)
+
+        rz = top_k_facilities(tz, buses, 8, spec)
+        rb = top_k_facilities(tb, buses, 8, spec)
+        rbl = bl.top_k(buses, 8, spec)
+        assert rz.services() == pytest.approx(rb.services())
+        assert rz.services() == pytest.approx(rbl.services())
+
+    def test_maxkcov_serves_more_than_topk_union_or_equal(self, big_city):
+        """Greedy coverage >= coverage of the top-k individually best
+        facilities (it may pick exactly them)."""
+        from repro import brute_force_combined_service
+
+        users = generate_taxi_trips(800, big_city, seed=3)
+        buses = generate_bus_routes(16, big_city, seed=4, n_stops=24)
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=350.0)
+        tree = build_tq_zorder(users, beta=32)
+        topk = top_k_facilities(tree, buses, 3, spec)
+        cov = maxkcov_tq(tree, buses, 3, spec, prune_factor=len(buses))
+        top_union = brute_force_combined_service(
+            users, list(topk.facilities()), spec
+        )
+        assert cov.combined_service >= top_union - 1e-9
+
+
+class TestScenario2TouristPOIs:
+    """Paper Scenario 2: tourists with POI lists, partial service counts
+    visited POIs (the NYF experiment setup)."""
+
+    def test_segmented_and_full_agree(self, big_city):
+        users = generate_checkin_trajectories(400, big_city, seed=5)
+        buses = generate_bus_routes(12, big_city, seed=6, n_stops=32)
+        spec = ServiceSpec(ServiceModel.COUNT, psi=350.0)
+        s_tq = build_segmented(users, beta=32)
+        f_tq = build_full(users, beta=32)
+        rs = top_k_facilities(s_tq, buses, 4, spec)
+        rf = top_k_facilities(f_tq, buses, 4, spec)
+        assert rs.services() == pytest.approx(rf.services())
+
+    def test_partial_service_values_in_unit_range(self, big_city):
+        users = generate_checkin_trajectories(200, big_city, seed=7)
+        buses = generate_bus_routes(6, big_city, seed=8, n_stops=32)
+        spec = ServiceSpec(ServiceModel.COUNT, psi=350.0)
+        tree = build_segmented(users, beta=32)
+        for f in buses:
+            so = evaluate_service(tree, f, spec)
+            assert 0.0 <= so <= len(users)
+
+
+class TestScenario3AdvertisingLength:
+    """Paper Scenario 3: maximise served journey length (Wi-Fi / ads)."""
+
+    def test_length_model_end_to_end(self, big_city):
+        users = generate_gps_traces(120, big_city, seed=9, min_points=10, max_points=25)
+        buses = generate_bus_routes(10, big_city, seed=10, n_stops=48)
+        spec = ServiceSpec(ServiceModel.LENGTH, psi=350.0, normalize=False)
+        tree = build_segmented(users, beta=32)
+        result = top_k_facilities(tree, buses, 3, spec)
+        for fs in result.ranking:
+            assert fs.service == pytest.approx(
+                brute_force_service(users, fs.facility, spec)
+            )
+
+    def test_bjg_style_segment_dataset(self, big_city):
+        """The paper's BJG setup: every point pair becomes its own
+        2-point trajectory, then endpoint queries run over segments."""
+        traces = generate_gps_traces(60, big_city, seed=11, min_points=8, max_points=15)
+        segments = segment_dataset(traces)
+        assert len(segments) == sum(t.n_points - 1 for t in traces)
+        assert all(s.n_points == 2 for s in segments)
+        buses = generate_bus_routes(8, big_city, seed=12, n_stops=32)
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=350.0)
+        tree = build_tq_zorder(segments, beta=32)
+        result = top_k_facilities(tree, buses, 3, spec)
+        for fs in result.ranking:
+            assert fs.service == pytest.approx(
+                brute_force_service(segments, fs.facility, spec)
+            )
+
+
+class TestDynamicWorkflow:
+    def test_inserts_then_queries(self, big_city):
+        """Online updates (Section III-C): insert a second day of trips,
+        answers must reflect both batches exactly."""
+        day1 = generate_taxi_trips(400, big_city, seed=13)
+        day2 = generate_taxi_trips(200, big_city, seed=14, start_id=400)
+        buses = generate_bus_routes(8, big_city, seed=15, n_stops=24)
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=350.0)
+
+        tree = build_tq_zorder(day1, beta=16, space=big_city.bounds)
+        for u in day2:
+            tree.insert(u)
+        everyone = day1 + day2
+        for f in buses:
+            assert evaluate_service(tree, f, spec) == pytest.approx(
+                brute_force_service(everyone, f, spec)
+            )
+
+    def test_coverage_pipeline_after_inserts(self, big_city):
+        day1 = generate_taxi_trips(300, big_city, seed=16)
+        day2 = generate_taxi_trips(150, big_city, seed=17, start_id=300)
+        buses = generate_bus_routes(10, big_city, seed=18, n_stops=24)
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=350.0)
+        tree = build_tq_zorder(day1, beta=16, space=big_city.bounds)
+        for u in day2:
+            tree.insert(u)
+        result = maxkcov_tq(tree, buses, 2, spec)
+        from repro import brute_force_combined_service
+
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(day1 + day2, list(result.selection), spec)
+        )

@@ -1,0 +1,98 @@
+"""Round-trip and failure tests for the CSV I/O layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CityModel,
+    DatasetError,
+    FacilityRoute,
+    Trajectory,
+    generate_bus_routes,
+    generate_checkin_trajectories,
+    load_facilities,
+    load_trajectories,
+    save_facilities,
+    save_trajectories,
+)
+
+
+class TestTrajectoryRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        city = CityModel.generate(seed=1, size=5000.0)
+        users = generate_checkin_trajectories(20, city, seed=2)
+        path = tmp_path / "users.csv"
+        save_trajectories(users, path)
+        assert load_trajectories(path) == users
+
+    def test_round_trip_preserves_float_precision(self, tmp_path):
+        t = Trajectory(0, [(1 / 3, 2 / 7), (0.1 + 0.2, 1e-17 + 5.0)])
+        path = tmp_path / "t.csv"
+        save_trajectories([t], path)
+        assert load_trajectories(path) == [t]
+
+    def test_empty_file_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trajectories([], path)
+        assert load_trajectories(path) == []
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,0,2.0,3.0\n")
+        with pytest.raises(DatasetError):
+            load_trajectories(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("traj_id,point_idx,x,y\n1,zero,2.0,3.0\n")
+        with pytest.raises(DatasetError):
+            load_trajectories(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("traj_id,point_idx,x,y\n1,0,2.0\n")
+        with pytest.raises(DatasetError):
+            load_trajectories(path)
+
+    def test_gap_in_point_indices_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("traj_id,point_idx,x,y\n1,0,2.0,3.0\n1,2,4.0,5.0\n")
+        with pytest.raises(DatasetError):
+            load_trajectories(path)
+
+    def test_rows_reassembled_out_of_order(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text(
+            "traj_id,point_idx,x,y\n"
+            "0,1,10.0,10.0\n"
+            "1,0,5.0,5.0\n"
+            "0,0,1.0,1.0\n"
+            "1,1,6.0,6.0\n"
+        )
+        got = load_trajectories(path)
+        assert got == [
+            Trajectory(0, [(1.0, 1.0), (10.0, 10.0)]),
+            Trajectory(1, [(5.0, 5.0), (6.0, 6.0)]),
+        ]
+
+
+class TestFacilityRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        city = CityModel.generate(seed=1, size=20_000.0)
+        routes = generate_bus_routes(6, city, seed=3, n_stops=12)
+        path = tmp_path / "routes.csv"
+        save_facilities(routes, path)
+        assert load_facilities(path) == routes
+
+    def test_single_stop_facility(self, tmp_path):
+        f = FacilityRoute(7, [(1.5, 2.5)])
+        path = tmp_path / "f.csv"
+        save_facilities([f], path)
+        assert load_facilities(path) == [f]
+
+    def test_gap_in_stop_indices_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("traj_id,point_idx,x,y\n1,1,2.0,3.0\n")
+        with pytest.raises(DatasetError):
+            load_facilities(path)

@@ -1,0 +1,193 @@
+"""Tests for MaxkCovRST: combined semantics, greedy behaviour, agreement
+between G-BL / G-TQ(B) / G-TQ(Z)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    BaselineIndex,
+    FacilityRoute,
+    QueryError,
+    ServiceModel,
+    ServiceSpec,
+    TQTree,
+    TQTreeConfig,
+    Trajectory,
+    brute_force_combined_service,
+    build_tq_basic,
+    build_tq_zorder,
+    greedy_max_k_coverage,
+    maxkcov_baseline,
+    maxkcov_tq,
+)
+from repro.queries import baseline_match_fn, tq_match_fn
+
+from .strategies import WORLD, facility_sets, psis, trajectory_sets
+
+
+class TestCombinedSemantics:
+    def test_lemma1_cross_facility_serving(self):
+        """The paper's non-submodularity construction: one facility near
+        the source, another near the destination — together they serve
+        the user, separately they do not."""
+        user = Trajectory(0, [(0, 0), (1000, 0)])
+        near_start = FacilityRoute(0, [(0, 5)])
+        near_end = FacilityRoute(1, [(1000, 5)])
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=10.0)
+        assert brute_force_combined_service([user], [near_start], spec) == 0.0
+        assert brute_force_combined_service([user], [near_end], spec) == 0.0
+        assert (
+            brute_force_combined_service([user], [near_start, near_end], spec) == 1.0
+        )
+
+    def test_non_submodularity_witness(self):
+        """Marginal gain of x on superset B exceeds its gain on A ⊂ B —
+        impossible for submodular functions (Lemma 1)."""
+        user = Trajectory(0, [(0, 0), (1000, 0)])
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=10.0)
+        a = FacilityRoute(0, [(500, 500)])  # serves nothing of the user
+        b = FacilityRoute(1, [(0, 5)])  # serves the source
+        x = FacilityRoute(2, [(1000, 5)])  # serves the destination
+        users = [user]
+
+        def so(facs):
+            return brute_force_combined_service(users, facs, spec)
+
+        gain_on_a = so([a, x]) - so([a])
+        gain_on_ab = so([a, b, x]) - so([a, b])
+        assert gain_on_ab > gain_on_a  # diminishing returns violated
+
+    def test_greedy_finds_cross_facility_pair(self):
+        users = [Trajectory(i, [(0, i * 30), (1000, i * 30)]) for i in range(5)]
+        near_start = FacilityRoute(0, [(0, 60)])
+        near_end = FacilityRoute(1, [(1000, 60)])
+        decoy = FacilityRoute(2, [(500, 500)])
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=200.0)
+        tree = TQTree.build(users, TQTreeConfig(beta=4), space=WORLD)
+        result = greedy_max_k_coverage(
+            users, [near_start, near_end, decoy], 2, spec, tq_match_fn(tree, spec)
+        )
+        assert set(result.facility_ids()) == {0, 1}
+        assert result.users_fully_served == 5
+
+
+class TestGreedy:
+    def test_invalid_k(self, taxi_users, facilities, endpoint_spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        with pytest.raises(QueryError):
+            maxkcov_tq(tree, facilities, 0, endpoint_spec)
+
+    def test_invalid_prune_factor(self, taxi_users, facilities, endpoint_spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        with pytest.raises(QueryError):
+            maxkcov_tq(tree, facilities, 2, endpoint_spec, prune_factor=0)
+
+    def test_combined_value_is_exact(self, taxi_users, facilities, endpoint_spec):
+        """The reported combined service equals the oracle on the chosen set."""
+        tree = build_tq_zorder(taxi_users, beta=16)
+        result = maxkcov_tq(tree, facilities, 3, endpoint_spec)
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(
+                taxi_users, list(result.selection), endpoint_spec
+            )
+        )
+
+    def test_all_strategies_agree(self, taxi_users, facilities, endpoint_spec):
+        """G-BL, G-TQ(B), G-TQ(Z) consume identical match sets, so the
+        greedy outcome must coincide (prune wide enough to not bite)."""
+        tz = build_tq_zorder(taxi_users, beta=16)
+        tb = build_tq_basic(taxi_users, beta=16)
+        bl = BaselineIndex.build(taxi_users)
+        k = 3
+        r_bl = maxkcov_baseline(bl, taxi_users, facilities, k, endpoint_spec)
+        r_tz = maxkcov_tq(tz, facilities, k, endpoint_spec, prune_factor=len(facilities))
+        r_tb = maxkcov_tq(tb, facilities, k, endpoint_spec, prune_factor=len(facilities))
+        assert r_bl.combined_service == pytest.approx(r_tz.combined_service)
+        assert r_bl.combined_service == pytest.approx(r_tb.combined_service)
+        assert r_bl.facility_ids() == r_tz.facility_ids() == r_tb.facility_ids()
+
+    def test_greedy_at_least_best_single(self, taxi_users, facilities, endpoint_spec):
+        from repro import brute_force_service
+
+        tree = build_tq_zorder(taxi_users, beta=16)
+        result = maxkcov_tq(tree, facilities, 3, endpoint_spec)
+        best_single = max(
+            brute_force_service(taxi_users, f, endpoint_spec) for f in facilities
+        )
+        assert result.combined_service >= best_single - 1e-9
+
+    def test_monotone_in_k(self, taxi_users, facilities, endpoint_spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        values = [
+            maxkcov_tq(tree, facilities, k, endpoint_spec).combined_service
+            for k in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+    def test_step_gains_recorded(self, taxi_users, facilities, endpoint_spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        result = maxkcov_tq(tree, facilities, 3, endpoint_spec)
+        assert len(result.step_gains) == len(result.selection)
+        assert sum(result.step_gains) == pytest.approx(result.combined_service)
+
+    def test_stops_early_when_nothing_servable(self, endpoint_spec):
+        users = [Trajectory(0, [(0, 0), (10, 0)])]
+        far = [
+            FacilityRoute(i, [(900 + i, 900)]) for i in range(4)
+        ]  # serve nothing
+        tree = TQTree.build(users, TQTreeConfig(beta=4), space=WORLD)
+        result = greedy_max_k_coverage(
+            users, far, 3, endpoint_spec, tq_match_fn(tree, endpoint_spec)
+        )
+        assert result.selection == ()
+        assert result.combined_service == 0.0
+
+    def test_count_model_coverage(self, checkin_users, facilities, count_spec):
+        from repro import build_segmented
+
+        tree = build_segmented(checkin_users, beta=16)
+        result = maxkcov_tq(tree, facilities, 3, count_spec)
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(
+                checkin_users, list(result.selection), count_spec
+            )
+        )
+
+    def test_small_prune_factor_no_worse_than_single(self, taxi_users, facilities, endpoint_spec):
+        tree = build_tq_zorder(taxi_users, beta=16)
+        tight = maxkcov_tq(tree, facilities, 2, endpoint_spec, prune_factor=1)
+        wide = maxkcov_tq(tree, facilities, 2, endpoint_spec, prune_factor=6)
+        assert wide.combined_service >= tight.combined_service - 1e-9
+
+
+class TestPropertyGreedy:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=12, min_points=2, max_points=2),
+        facility_sets(min_size=1, max_size=5),
+        psis(),
+    )
+    def test_greedy_value_equals_oracle_on_selection(self, users, facs, psi):
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=psi)
+        tree = TQTree.build(users, TQTreeConfig(beta=3), space=WORLD)
+        result = greedy_max_k_coverage(users, facs, 2, spec, tq_match_fn(tree, spec))
+        assert result.combined_service == pytest.approx(
+            brute_force_combined_service(users, list(result.selection), spec)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=10, min_points=2, max_points=2),
+        facility_sets(min_size=2, max_size=5),
+        psis(),
+    )
+    def test_baseline_and_tq_match_fns_identical(self, users, facs, psi):
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=psi)
+        tree = TQTree.build(users, TQTreeConfig(beta=3), space=WORLD)
+        bl = BaselineIndex.build(users)
+        fn_tq = tq_match_fn(tree, spec)
+        fn_bl = baseline_match_fn(bl, spec)
+        for f in facs:
+            assert dict(fn_tq(f)) == dict(fn_bl(f))

@@ -1,0 +1,208 @@
+"""Unit and property tests for repro.core.zorder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import BBox, GeometryError, Point, ZID
+from repro.core.zorder import (
+    AdaptiveZGrid,
+    morton_decode,
+    morton_encode,
+    zid_of_point,
+)
+
+from .strategies import WORLD, points
+
+
+class TestZID:
+    def test_digit_range_validated(self):
+        with pytest.raises(GeometryError):
+            ZID((0, 4))
+
+    def test_lexicographic_order_matches_z_order(self):
+        assert ZID((0,)) < ZID((0, 1)) < ZID((1,)) < ZID((1, 0)) < ZID((2,))
+
+    def test_prefix_of(self):
+        assert ZID((1,)).is_prefix_of(ZID((1, 2)))
+        assert ZID(()).is_prefix_of(ZID((3, 3)))
+        assert not ZID((1, 2)).is_prefix_of(ZID((1,)))
+        assert ZID((2,)).is_prefix_of(ZID((2,)))
+
+    def test_range_high_simple(self):
+        assert ZID((1, 2)).range_high() == ZID((1, 3))
+
+    def test_range_high_carry(self):
+        assert ZID((1, 3)).range_high() == ZID((2,))
+        assert ZID((2, 3, 3)).range_high() == ZID((3,))
+
+    def test_range_high_saturated(self):
+        assert ZID((3, 3)).range_high() is None
+        assert ZID(()).range_high() is None
+
+    def test_child(self):
+        assert ZID((1,)).child(2) == ZID((1, 2))
+        with pytest.raises(GeometryError):
+            ZID(()).child(5)
+
+    def test_str_paper_notation(self):
+        assert str(ZID((0, 1, 2))) == "0.1.2"
+        assert str(ZID(())) == "<root>"
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=8))
+    def test_subtree_within_range(self, digits):
+        """Every descendant id lies in [prefix, range_high)."""
+        prefix = ZID(tuple(digits[: len(digits) // 2 + 1]))
+        descendant = ZID(tuple(digits[: len(digits) // 2 + 1] + digits))
+        assert prefix <= descendant
+        high = prefix.range_high()
+        if high is not None:
+            assert descendant < high
+
+
+class TestMorton:
+    def test_encode_known_values(self):
+        # depth 1: digit = x | (y << 1)
+        assert morton_encode(0, 0, 1) == 0
+        assert morton_encode(1, 0, 1) == 1
+        assert morton_encode(0, 1, 1) == 2
+        assert morton_encode(1, 1, 1) == 3
+
+    def test_encode_depth_two(self):
+        assert morton_encode(2, 0, 2) == 0b0100
+        assert morton_encode(3, 3, 2) == 0b1111
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_round_trip_depth3(self, ix, iy):
+        assert morton_decode(morton_encode(ix, iy, 3), 3) == (ix, iy)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GeometryError):
+            morton_encode(4, 0, 2)
+        with pytest.raises(GeometryError):
+            morton_decode(16, 2)
+
+    def test_zero_depth(self):
+        assert morton_encode(0, 0, 0) == 0
+        assert morton_decode(0, 0) == (0, 0)
+
+    def test_locality_monotone_along_row_block(self):
+        """Codes in the same quadrant are contiguous before codes of the next."""
+        d = 2
+        sw = [morton_encode(x, y, d) for x in (0, 1) for y in (0, 1)]
+        ne = [morton_encode(x, y, d) for x in (2, 3) for y in (2, 3)]
+        assert max(sw) < min(ne)
+
+
+class TestZidOfPoint:
+    def test_depth_zero_is_root(self):
+        assert zid_of_point(Point(1, 1), WORLD, 0) == ZID(())
+
+    def test_descends_correct_quadrants(self):
+        box = BBox(0, 0, 100, 100)
+        assert zid_of_point(Point(10, 10), box, 1) == ZID((0,))
+        assert zid_of_point(Point(90, 10), box, 1) == ZID((1,))
+        assert zid_of_point(Point(10, 90), box, 2).digits[0] == 2
+
+    def test_outside_space_rejected(self):
+        with pytest.raises(GeometryError):
+            zid_of_point(Point(-1, 0), WORLD, 2)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(GeometryError):
+            zid_of_point(Point(1, 1), WORLD, -1)
+
+    @given(points(), st.integers(0, 6))
+    def test_prefix_consistency_across_depths(self, p, depth):
+        """The depth-d id is a prefix of the depth-(d+1) id."""
+        a = zid_of_point(p, WORLD, depth)
+        b = zid_of_point(p, WORLD, depth + 1)
+        assert a.is_prefix_of(b)
+
+
+class TestAdaptiveZGrid:
+    def test_no_split_when_few_points(self):
+        grid = AdaptiveZGrid(WORLD, [Point(1, 1), Point(2, 2)], beta=4)
+        assert grid.n_leaves() == 1
+        assert grid.zid_of(Point(500, 500)) == ZID(())
+
+    def test_splits_until_beta(self):
+        pts = [Point(10 * i, 10) for i in range(10)]
+        grid = AdaptiveZGrid(WORLD, pts, beta=2)
+        # every leaf must contain at most beta driving points
+        from collections import Counter
+
+        counts = Counter(grid.zid_of(p) for p in pts)
+        assert all(c <= 2 for c in counts.values())
+
+    def test_depth_cap_stops_identical_points(self):
+        pts = [Point(5, 5)] * 10
+        grid = AdaptiveZGrid(WORLD, pts, beta=2, max_depth=3)
+        assert grid.zid_of(Point(5, 5)).depth <= 3
+
+    def test_beta_validated(self):
+        with pytest.raises(GeometryError):
+            AdaptiveZGrid(WORLD, [], beta=0)
+
+    def test_zid_outside_rejected(self):
+        grid = AdaptiveZGrid(WORLD, [], beta=2)
+        with pytest.raises(GeometryError):
+            grid.zid_of(Point(-5, 0))
+
+    def test_cells_intersecting_full_space(self):
+        pts = [Point(i * 100 + 1, i * 100 + 1) for i in range(9)]
+        grid = AdaptiveZGrid(WORLD, pts, beta=2)
+        cells = grid.cells_intersecting(WORLD)
+        leaves = [zid for zid, _ in grid.leaf_cells()]
+        assert cells == leaves
+
+    def test_cells_intersecting_small_box(self):
+        pts = [Point(i * 100 + 1, i * 100 + 1) for i in range(9)]
+        grid = AdaptiveZGrid(WORLD, pts, beta=2)
+        box = BBox(0, 0, 10, 10)
+        cells = grid.cells_intersecting(box)
+        assert len(cells) >= 1
+        assert all(len(cells) <= len(grid.cells_intersecting(WORLD)) for _ in [0])
+
+    def test_cells_sorted_in_z_order(self):
+        pts = [Point(i * 37 % 1000, i * 91 % 1000) for i in range(40)]
+        grid = AdaptiveZGrid(WORLD, pts, beta=3)
+        cells = grid.cells_intersecting(WORLD)
+        assert cells == sorted(cells)
+
+    def test_leaf_cells_tile_space(self):
+        pts = [Point(i * 97 % 1000, i * 61 % 1000) for i in range(30)]
+        grid = AdaptiveZGrid(WORLD, pts, beta=3)
+        total_area = sum(box.area() for _, box in grid.leaf_cells())
+        assert total_area == pytest.approx(WORLD.area())
+
+    def test_refine_at_deepens_leaf(self):
+        grid = AdaptiveZGrid(WORLD, [Point(1, 1)], beta=4)
+        before = grid.zid_of(Point(1, 1)).depth
+        grid.refine_at(Point(1, 1), 2)
+        after = grid.zid_of(Point(1, 1)).depth
+        assert after == before + 2
+
+    def test_refine_respects_depth_cap(self):
+        grid = AdaptiveZGrid(WORLD, [Point(1, 1)], beta=4, max_depth=2)
+        grid.refine_at(Point(1, 1), 10)
+        assert grid.zid_of(Point(1, 1)).depth <= 2
+
+    @given(st.lists(points(), min_size=0, max_size=40), points())
+    def test_any_point_maps_to_a_leaf_covering_it(self, driving, probe):
+        grid = AdaptiveZGrid(WORLD, driving, beta=3)
+        zid = grid.zid_of(probe)
+        boxes = {z: box for z, box in grid.leaf_cells()}
+        assert boxes[zid].contains_point(probe)
+
+    @given(st.lists(points(), min_size=1, max_size=40))
+    def test_cells_where_is_sound(self, driving):
+        """A leaf intersecting the query box is always reported."""
+        grid = AdaptiveZGrid(WORLD, driving, beta=3)
+        box = BBox(100, 100, 300, 300)
+        reported = set(grid.cells_intersecting(box))
+        for zid, cell_box in grid.leaf_cells():
+            if cell_box.intersects(box):
+                assert zid in reported
