@@ -16,6 +16,15 @@ import pytest
 from repro.bench.harness import WorkloadFactory
 
 
+def pytest_configure(config):
+    # Mirrors tests/conftest.py so `-m engine_smoke` works from either
+    # suite: the marker tags the fast engine-vs-oracle smoke checks.
+    config.addinivalue_line(
+        "markers",
+        "engine_smoke: fast proximity-engine-vs-oracle smoke check",
+    )
+
+
 @pytest.fixture(scope="session")
 def factory() -> WorkloadFactory:
     return WorkloadFactory()

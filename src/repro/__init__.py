@@ -38,6 +38,8 @@ from .core import (
     FacilityRoute,
     IndexVariant,
     Point,
+    ProximityBackend,
+    QueryStats,
     ServiceModel,
     ServiceSpec,
     StopSet,
@@ -48,6 +50,14 @@ from .core import (
     brute_force_matches,
     brute_force_service,
     score_trajectory,
+)
+from .engine import (
+    BatchQueryEngine,
+    BatchResult,
+    CoverageCache,
+    GriddedStopSet,
+    StopGrid,
+    backend_stops,
 )
 from .core.errors import (
     DatasetError,
@@ -108,7 +118,16 @@ __all__ = [
     "StopSet",
     "CoverageState",
     "IndexVariant",
+    "ProximityBackend",
+    "QueryStats",
     "TQTreeConfig",
+    # proximity engine
+    "StopGrid",
+    "GriddedStopSet",
+    "backend_stops",
+    "CoverageCache",
+    "BatchQueryEngine",
+    "BatchResult",
     # oracles
     "score_trajectory",
     "brute_force_service",

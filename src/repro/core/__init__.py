@@ -1,6 +1,6 @@
 """Core substrates: geometry, z-ordering, trajectories, service values."""
 
-from .config import IndexVariant, TQTreeConfig
+from .config import IndexVariant, ProximityBackend, TQTreeConfig
 from .errors import (
     DatasetError,
     GeometryError,
@@ -18,10 +18,13 @@ from .service import (
     brute_force_combined_service,
     brute_force_matches,
     brute_force_service,
+    coverage_kernel,
+    psi_hit,
     score_from_indices,
     score_trajectory,
     served_point_indices,
 )
+from .stats import QueryStats
 from .trajectory import FacilityRoute, Trajectory
 from .zorder import ZID, AdaptiveZGrid, morton_decode, morton_encode, zid_of_point
 
@@ -42,6 +45,9 @@ __all__ = [
     "ServiceSpec",
     "StopSet",
     "CoverageState",
+    "QueryStats",
+    "psi_hit",
+    "coverage_kernel",
     "score_trajectory",
     "score_from_indices",
     "served_point_indices",
@@ -49,6 +55,7 @@ __all__ = [
     "brute_force_matches",
     "brute_force_combined_service",
     "IndexVariant",
+    "ProximityBackend",
     "TQTreeConfig",
     "ReproError",
     "GeometryError",

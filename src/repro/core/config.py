@@ -9,6 +9,11 @@ The knobs mirror the paper's Section III:
   (S-TQ), or as whole trajectories (F-TQ).
 * ``use_zorder`` — TQ(Z) when True (z-ordered bucket lists inside each
   q-node), TQ(B) when False (flat lists).
+
+Independently of how the *index* is built, :class:`ProximityBackend`
+selects how exact ``psi``-distance checks are executed at query time:
+the dense all-pairs broadcast (the reference oracle path) or the uniform
+stop grid of :mod:`repro.engine` (``AUTO`` picks per stop set).
 """
 
 from __future__ import annotations
@@ -18,7 +23,28 @@ from dataclasses import dataclass
 
 from .errors import IndexError_
 
-__all__ = ["IndexVariant", "TQTreeConfig"]
+__all__ = ["IndexVariant", "ProximityBackend", "TQTreeConfig"]
+
+
+class ProximityBackend(enum.Enum):
+    """How exact ``psi``-distance checks are executed (query-time knob).
+
+    The choice never affects results — every backend is bit-identical to
+    the dense oracle — only how much geometric work is performed.
+    """
+
+    DENSE = "dense"
+    """All-pairs vectorised broadcast against every stop (the reference
+    oracle path; optimal for tiny stop sets)."""
+
+    GRID = "grid"
+    """Uniform stop grid with cell size ~``psi``: a point's coverage
+    check gathers candidate stops from the 3x3 surrounding cells only
+    (see :class:`repro.engine.StopGrid`)."""
+
+    AUTO = "auto"
+    """Grid for stop-dense sets, dense broadcast below a stop-count
+    threshold where grid bookkeeping costs more than it saves."""
 
 
 class IndexVariant(enum.Enum):

@@ -25,6 +25,17 @@ all three objectives from them.
 
 Everything in this module is deliberately brute-force and index-free; it
 doubles as the *oracle* against which the TQ-tree evaluators are tested.
+
+The one place the ``psi``-disc membership predicate is written down is
+:func:`psi_hit` / :func:`coverage_kernel`; :meth:`StopSet.covers_point`
+and :meth:`StopSet.covered_mask` both route through it, and so does the
+grid-bucketed proximity engine (:mod:`repro.engine`), which gathers
+candidate stops from a uniform grid before applying the same kernel.
+The engine is a pure accelerator: for any input it returns bit-identical
+masks and scores to this module.  When the grid pays off (stop-dense
+facilities, small ``psi``) is documented in :mod:`repro.engine`; tiny
+stop sets keep using the dense broadcast below, which is why this module
+remains the canonical reference implementation.
 """
 
 from __future__ import annotations
@@ -37,12 +48,15 @@ import numpy as np
 
 from .errors import QueryError
 from .geometry import BBox, Point
+from .stats import QueryStats
 from .trajectory import FacilityRoute, Trajectory
 
 __all__ = [
     "ServiceModel",
     "ServiceSpec",
     "StopSet",
+    "psi_hit",
+    "coverage_kernel",
     "served_point_indices",
     "score_from_indices",
     "score_trajectory",
@@ -87,6 +101,46 @@ class ServiceSpec:
             raise QueryError(f"unknown service model: {self.model!r}")
         if not self.psi >= 0:
             raise QueryError(f"psi must be >= 0, got {self.psi}")
+
+
+# ----------------------------------------------------------------------
+# the psi-disc membership kernel
+# ----------------------------------------------------------------------
+def psi_hit(dx: np.ndarray, dy: np.ndarray, psi: float) -> np.ndarray:
+    """``dx*dx + dy*dy <= psi*psi`` — THE serving predicate.
+
+    Every coverage decision in the library (dense broadcast, grid
+    candidate check, single-point probe) reduces to this one comparison,
+    so dense and grid paths are bit-identical by construction.
+    """
+    return dx * dx + dy * dy <= psi * psi
+
+
+def coverage_kernel(
+    points: np.ndarray,
+    stops: np.ndarray,
+    psi: float,
+    stats: Optional[QueryStats] = None,
+) -> np.ndarray:
+    """Dense all-pairs coverage: which ``points`` rows are within ``psi``
+    of any ``stops`` row.
+
+    The arrays are ``(n, 2)`` and ``(m, 2)``; the result is an ``(n,)``
+    boolean mask.  ``stats``, when given, accrues the geometric work
+    performed (every point is scanned, every pair is evaluated).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    stops = np.asarray(stops, dtype=np.float64)
+    if pts.size == 0:
+        return np.zeros(0, dtype=bool)
+    if stops.size == 0:
+        return np.zeros(pts.shape[0], dtype=bool)
+    if stats is not None:
+        stats.points_scanned += int(pts.shape[0])
+        stats.distance_evals += int(pts.shape[0]) * int(stops.shape[0])
+    dx = pts[:, 0, None] - stops[None, :, 0]
+    dy = pts[:, 1, None] - stops[None, :, 1]
+    return np.any(psi_hit(dx, dy, psi), axis=1)
 
 
 class StopSet:
@@ -135,33 +189,38 @@ class StopSet:
         return None if box is None else box.expanded(psi)
 
     # ------------------------------------------------------------------
-    def covers_point(self, p: Point, psi: float) -> bool:
+    def covers_point(
+        self, p: Point, psi: float, stats: Optional[QueryStats] = None
+    ) -> bool:
         """True when ``p`` is within ``psi`` of any stop."""
         if self.is_empty:
             return False
-        dx = self.coords[:, 0] - p.x
-        dy = self.coords[:, 1] - p.y
-        return bool(np.any(dx * dx + dy * dy <= psi * psi))
+        mask = coverage_kernel(
+            np.array([[p.x, p.y]], dtype=np.float64), self.coords, psi, stats
+        )
+        return bool(mask[0])
 
-    def covered_mask(self, coords: np.ndarray, psi: float) -> np.ndarray:
+    def covered_mask(
+        self, coords: np.ndarray, psi: float, stats: Optional[QueryStats] = None
+    ) -> np.ndarray:
         """Boolean mask: which of ``coords`` rows are within ``psi``."""
         pts = np.asarray(coords, dtype=np.float64)
         if pts.size == 0:
             return np.zeros(0, dtype=bool)
         if self.is_empty:
             return np.zeros(pts.shape[0], dtype=bool)
-        dx = pts[:, 0, None] - self.coords[None, :, 0]
-        dy = pts[:, 1, None] - self.coords[None, :, 1]
-        return np.any(dx * dx + dy * dy <= psi * psi, axis=1)
+        return coverage_kernel(pts, self.coords, psi, stats)
+
+    def _restriction_mask(self, box: BBox) -> np.ndarray:
+        x = self.coords[:, 0]
+        y = self.coords[:, 1]
+        return (x >= box.xmin) & (x <= box.xmax) & (y >= box.ymin) & (y <= box.ymax)
 
     def restricted_to(self, box: BBox) -> "StopSet":
         """The sub-set of stops lying inside ``box`` (closed)."""
         if self.is_empty:
             return self
-        x = self.coords[:, 0]
-        y = self.coords[:, 1]
-        mask = (x >= box.xmin) & (x <= box.xmax) & (y >= box.ymin) & (y <= box.ymax)
-        return StopSet(self.coords[mask])
+        return StopSet(self.coords[self._restriction_mask(box)])
 
 
 # ----------------------------------------------------------------------

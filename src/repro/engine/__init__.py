@@ -1,0 +1,52 @@
+"""Vectorised proximity engine: grid-bucketed coverage, caching, batching.
+
+This package accelerates the one operation every evaluator in the
+library bottoms out in — "which user points lie within ``psi`` of this
+facility's stops?" — without ever changing an answer.  Three pieces:
+
+* :class:`StopGrid` / :class:`GriddedStopSet` (:mod:`.grid`) — a uniform
+  grid over facility stops with cell size at least ``psi``, so a point's
+  coverage check gathers candidates from the 3x3 surrounding cells
+  instead of broadcasting against every stop.  Exposed behind the
+  existing :class:`~repro.core.service.StopSet` contract and routed
+  through the same :func:`~repro.core.service.psi_hit` kernel, so masks
+  are bit-identical to the dense path.
+* :class:`CoverageCache` (:mod:`.cache`) — memoises per-(facility,
+  q-node) coverage results, per-facility match sets, and per-(stop set,
+  psi) batch masks, so MaxkCovRST's re-walks and multi-model batches
+  stop paying full price.
+* :class:`BatchQueryEngine` (:mod:`.batch`) — accepts many
+  ``(facility, ServiceSpec)`` requests over one user set, sharing the
+  probe-coordinate concatenation, grid construction, and masks across
+  them; returns per-query scores plus one aggregated
+  :class:`~repro.core.stats.QueryStats`.
+
+**When the grid wins:** stop-dense facilities (hundreds of stops) with
+small ``psi`` relative to the stop extent — the dense broadcast pays
+``O(points x stops)`` while the grid pays ``O(points x candidates)``
+with a few candidates per point.  **When dense is still used:** tiny
+stop sets (below :data:`~repro.engine.grid.AUTO_MIN_STOPS` under
+``ProximityBackend.AUTO``), and radii larger than the built grid's cell
+size, where 3x3 gathering would approach a full scan anyway; the
+fallback is automatic and exact.  ``benchmarks/bench_engine.py``
+measures the crossover.
+
+Everything here layers strictly on :mod:`repro.core` — the query layer
+imports the engine, never the reverse — and the brute-force oracle path
+remains intact as the reference against which the engine is
+differential-tested (``tests/test_engine_oracle.py``).
+"""
+
+from .batch import BatchQueryEngine, BatchResult
+from .cache import CoverageCache
+from .grid import AUTO_MIN_STOPS, GriddedStopSet, StopGrid, backend_stops
+
+__all__ = [
+    "StopGrid",
+    "GriddedStopSet",
+    "backend_stops",
+    "AUTO_MIN_STOPS",
+    "CoverageCache",
+    "BatchQueryEngine",
+    "BatchResult",
+]

@@ -1,0 +1,218 @@
+"""Batched, vectorised service-value evaluation over a fixed user set.
+
+:class:`BatchQueryEngine` is the index-free fast path for heavy query
+traffic: it concatenates every user trajectory's points into one probe
+block *once*, precomputes the per-trajectory aggregation structure
+(start/end positions, segment endpoint pairs, segment lengths), and then
+answers any number of ``(facility, ServiceSpec)`` requests against that
+shared block.  Each request costs one coverage mask — grid-accelerated
+per :class:`~repro.engine.grid.StopGrid` — plus O(points) aggregation;
+requests that share a stop set and ``psi`` (e.g. the three service
+models of one facility) share a single mask through the
+:class:`~repro.engine.cache.CoverageCache`.
+
+Scores are **bit-identical** to :func:`repro.core.service
+.brute_force_service`: per-user values use the same arithmetic as
+``score_from_indices`` (counts divided by point counts, sequentially
+accumulated segment lengths divided by trajectory length), and the
+grand total accumulates users in input order exactly like the oracle's
+``sum``.  The differential suite in ``tests/test_engine_oracle.py``
+holds the engine to ``==``, not ``approx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import ProximityBackend
+from ..core.errors import QueryError
+from ..core.service import ServiceModel, ServiceSpec, StopSet
+from ..core.stats import QueryStats
+from ..core.trajectory import FacilityRoute, Trajectory
+from .cache import CoverageCache
+from .grid import backend_stops
+
+__all__ = ["BatchQueryEngine", "BatchResult"]
+
+#: Anything a request can name its stops with.
+StopsLike = Union[StopSet, FacilityRoute, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-query scores plus the aggregated work counters."""
+
+    scores: Tuple[float, ...]
+    stats: QueryStats
+
+
+def _as_stop_set(obj: StopsLike) -> StopSet:
+    if isinstance(obj, StopSet):
+        return obj
+    if isinstance(obj, FacilityRoute):
+        return StopSet.of_facility(obj)
+    stops = getattr(obj, "stops", None)
+    if isinstance(stops, StopSet):  # FacilityComponent-shaped
+        return stops
+    return StopSet(np.asarray(obj, dtype=np.float64))
+
+
+class BatchQueryEngine:
+    """Vectorised ``SO(U, f)`` evaluation for many queries over one
+    user set.
+
+    Parameters
+    ----------
+    users:
+        The fixed user trajectories; order defines score accumulation
+        order (matching the brute-force oracle).
+    backend:
+        How coverage masks are computed (:class:`ProximityBackend`);
+        ``AUTO`` grids stop-dense facilities and stays dense otherwise.
+    cache:
+        Optional shared :class:`CoverageCache`; one is created per
+        engine when omitted.  Masks are memoised per (stop set, psi),
+        so repeated and multi-model queries pay one mask.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[Trajectory],
+        backend: ProximityBackend = ProximityBackend.AUTO,
+        cache: Optional[CoverageCache] = None,
+    ) -> None:
+        if not isinstance(backend, ProximityBackend):
+            raise QueryError(f"unknown proximity backend: {backend!r}")
+        self.users: Tuple[Trajectory, ...] = tuple(users)
+        self.backend = backend
+        self.cache = cache if cache is not None else CoverageCache()
+        self._stops: dict = {}  # id(request object) -> (object, StopSet)
+
+        n_users = len(self.users)
+        counts = np.array([u.n_points for u in self.users], dtype=np.int64)
+        offsets = np.zeros(n_users + 1, dtype=np.int64)
+        if n_users:
+            np.cumsum(counts, out=offsets[1:])
+            self._points = np.concatenate([u.coords for u in self.users])
+        else:
+            self._points = np.zeros((0, 2), dtype=np.float64)
+        self._pt_owner = np.repeat(np.arange(n_users, dtype=np.int64), counts)
+        self._starts = offsets[:-1]
+        self._ends = offsets[1:] - 1
+        self._n_points = counts.astype(np.float64)
+        # segment structure: every point that is not the last of its
+        # trajectory opens the segment (a, a + 1)
+        is_last = np.zeros(int(offsets[-1]), dtype=bool)
+        if n_users:
+            is_last[self._ends] = True
+        self._seg_a = np.nonzero(~is_last)[0]
+        self._seg_b = self._seg_a + 1
+        seg_counts = np.maximum(counts - 1, 0)
+        self._seg_owner = np.repeat(np.arange(n_users, dtype=np.int64), seg_counts)
+        seg_lengths: List[np.ndarray] = [
+            np.asarray(u.segment_lengths, dtype=np.float64)
+            for u in self.users
+            if u.n_segments
+        ]
+        self._seg_len = (
+            np.concatenate(seg_lengths) if seg_lengths else np.zeros(0)
+        )
+        self._traj_len = np.array([u.length for u in self.users], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_probe_points(self) -> int:
+        return int(self._points.shape[0])
+
+    def _resolve_stops(self, obj: StopsLike, psi: float) -> StopSet:
+        """The (possibly grid-backed) stop set for a request object,
+        shared across requests naming the same object."""
+        key = id(obj)
+        entry = self._stops.get(key)
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        stops = backend_stops(_as_stop_set(obj), psi, self.backend)
+        self._stops[key] = (obj, stops)
+        return stops
+
+    def _mask(
+        self, stops: StopSet, psi: float, stats: Optional[QueryStats]
+    ) -> np.ndarray:
+        mask = self.cache.lookup_mask(stops, psi, self._points)
+        if mask is not None:
+            if stats is not None:
+                stats.cache_hits += 1
+            return mask
+        mask = stops.covered_mask(self._points, psi, stats)
+        self.cache.store_mask(stops, psi, self._points, mask)
+        return mask
+
+    # ------------------------------------------------------------------
+    def _per_user_values(self, mask: np.ndarray, spec: ServiceSpec) -> np.ndarray:
+        """``S(u, f)`` for every user from one probe-block mask, with
+        the oracle's exact arithmetic per user."""
+        n_users = self.n_users
+        if spec.model is ServiceModel.ENDPOINT:
+            return (mask[self._starts] & mask[self._ends]).astype(np.float64)
+        if spec.model is ServiceModel.COUNT:
+            raw = np.bincount(
+                self._pt_owner, weights=mask.astype(np.float64), minlength=n_users
+            )
+            return raw / self._n_points if spec.normalize else raw
+        # LENGTH: both segment endpoints covered; sequential accumulation
+        served = mask[self._seg_a] & mask[self._seg_b]
+        raw = np.bincount(
+            self._seg_owner, weights=self._seg_len * served, minlength=n_users
+        )
+        if not spec.normalize:
+            return raw
+        out = np.zeros(n_users, dtype=np.float64)
+        np.divide(raw, self._traj_len, out=out, where=self._traj_len > 0)
+        return out
+
+    def query(
+        self,
+        stops_like: StopsLike,
+        spec: ServiceSpec,
+        stats: Optional[QueryStats] = None,
+    ) -> float:
+        """``SO(U, f)`` for one request (same semantics as the oracle)."""
+        stops = self._resolve_stops(stops_like, spec.psi)
+        mask = self._mask(stops, spec.psi, stats)
+        values = self._per_user_values(mask, spec)
+        if values.size == 0:
+            return 0.0
+        # in-order accumulation, bit-identical to the oracle's sum()
+        return float(np.cumsum(values)[-1])
+
+    def run(
+        self, requests: Sequence[Tuple[StopsLike, ServiceSpec]]
+    ) -> BatchResult:
+        """Score every ``(stops, spec)`` request against the user set.
+
+        Returns one score per request (in order) and a single
+        :class:`QueryStats` aggregating the work of the whole batch.
+        """
+        stats = QueryStats()
+        scores = tuple(self.query(obj, spec, stats) for obj, spec in requests)
+        return BatchResult(scores, stats)
+
+    # ------------------------------------------------------------------
+    def matches(self, stops_like: StopsLike, psi: float):
+        """Per-user covered point indices (MaxkCovRST match-set shape:
+        ``{traj_id: (idx, ...)}``, users with no coverage omitted)."""
+        stops = self._resolve_stops(stops_like, psi)
+        mask = self._mask(stops, psi, None)
+        out = {}
+        covered = np.nonzero(mask)[0]
+        for pos in covered:
+            u = self.users[int(self._pt_owner[pos])]
+            out.setdefault(u.traj_id, []).append(int(pos - self._starts[self._pt_owner[pos]]))
+        return {tid: tuple(idx) for tid, idx in out.items()}

@@ -48,6 +48,12 @@ class FacilityComponent:
         """The undivided facility as a single component."""
         return cls(facility.facility_id, StopSet.of_facility(facility), psi)
 
+    def with_stops(self, stops: StopSet) -> "FacilityComponent":
+        """The same component with its stop set swapped (e.g. for a
+        grid-backed :class:`~repro.engine.GriddedStopSet`, which carries
+        through every ``restricted_to`` division)."""
+        return FacilityComponent(self.facility_id, stops, self.psi)
+
     @property
     def is_empty(self) -> bool:
         return self.stops.is_empty

@@ -19,18 +19,30 @@ Algorithm 2 is where the two-phase pruning happens:
 A :class:`MatchCollector` can ride along to record *which* points of
 which users were served — MaxkCovRST needs these per-facility match sets
 to price combined coverage.
+
+Two optional accelerators from :mod:`repro.engine` plug in without
+changing any result: ``backend`` swaps the component's exact-distance
+checks onto the uniform stop grid, and ``cache`` memoises each
+(facility, q-node) candidate list and coverage mask so a re-walk in the
+same mode — a repeated query for the same facility, ancestor scans
+across kMaxRRST relax rounds, solver ensembles sharing match sets —
+skips the geometric work.  (Collecting and non-collecting walks select
+different candidate sets, so the cache keys them apart rather than
+sharing across them.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..core.config import IndexVariant
+from ..core.config import IndexVariant, ProximityBackend
 from ..core.service import ServiceModel, ServiceSpec
+from ..core.stats import QueryStats
 from ..core.trajectory import FacilityRoute
+from ..engine.cache import CoverageCache
+from ..engine.grid import backend_stops
 from ..index.entries import IndexEntry
 from ..index.tqtree import QNode, TQTree
 from .components import FacilityComponent, intersecting_components
@@ -42,17 +54,6 @@ __all__ = [
     "evaluate_node_trajectories",
     "needs_ancestor_scan",
 ]
-
-
-@dataclass
-class QueryStats:
-    """Work counters for ablation and pruning-effectiveness tests."""
-
-    nodes_visited: int = 0
-    entries_considered: int = 0
-    entries_scored: int = 0
-    states_relaxed: int = 0
-    states_pruned: int = 0
 
 
 class MatchCollector:
@@ -168,26 +169,33 @@ def _linear_candidates(
     return [entries[i] for i in np.nonzero(mask)[0]]
 
 
-def _score_candidates(
+def _candidate_mask(
     candidates: List[IndexEntry],
     component: FacilityComponent,
     spec: ServiceSpec,
-    collector: Optional[MatchCollector],
-) -> float:
-    """Exact-score surviving candidates in one vectorised distance pass.
+    stats: Optional[QueryStats],
+) -> np.ndarray:
+    """One vectorised distance pass over all candidates' probe points.
 
     All candidates' probe points are stacked into a single coordinate
-    block and checked against the component's stops at once; per-entry
-    aggregation then applies the service model's scoring rule.
+    block and checked against the component's stops at once (the stop
+    set may be dense or grid-backed; results are identical).
     """
-    if not candidates:
-        return 0.0
     coords = (
         candidates[0].probe_coords
         if len(candidates) == 1
         else np.concatenate([e.probe_coords for e in candidates])
     )
-    mask = component.stops.covered_mask(coords, spec.psi)
+    return component.stops.covered_mask(coords, spec.psi, stats)
+
+
+def _aggregate_candidates(
+    candidates: List[IndexEntry],
+    mask: np.ndarray,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector],
+) -> float:
+    """Apply the service model's scoring rule per entry over ``mask``."""
     if collector is None:
         if spec.model is ServiceModel.ENDPOINT:
             # Every candidate is a whole-trajectory entry whose sorted
@@ -276,12 +284,42 @@ def evaluate_node_trajectories(
     spec: ServiceSpec,
     collector: Optional[MatchCollector] = None,
     stats: Optional[QueryStats] = None,
+    cache: Optional[CoverageCache] = None,
 ) -> float:
     """Algorithm 2: score the entries stored *at* ``node`` against the
-    facility component.  Returns the service value gained."""
+    facility component.  Returns the service value gained.
+
+    ``cache`` memoises the (candidates, mask) pair per (facility,
+    q-node, psi, mode): the component a facility induces at a node is
+    the same whichever algorithm walked there (stops within the node's
+    box expanded by ``psi``), so a later walk in the same mode — a
+    repeated query, an ancestor re-scan — reuses the geometric work and
+    only re-runs the cheap aggregation.  Mode (collecting flag plus
+    service model) is part of the key because it changes which
+    candidates survive zReduce.
+    """
     if component.is_empty or not node.entries:
         return 0.0
     collecting = collector is not None
+    key = None
+    if cache is not None:
+        key = (
+            component.facility_id,
+            id(node),
+            spec.psi,
+            collecting,
+            spec.model.value,
+        )
+        hit = cache.lookup_node(key, node, component.stops.coords)
+        if hit is not None:
+            candidates, mask = hit
+            if stats is not None:
+                stats.entries_considered += len(node.entries)
+                stats.entries_scored += len(candidates)
+                stats.cache_hits += 1
+            if not candidates:
+                return 0.0
+            return _aggregate_candidates(candidates, mask, spec, collector)
     candidates = _zreduce_candidates(tree, node, component, spec, collecting)
     if candidates is None:
         candidates = _linear_candidates(
@@ -290,7 +328,17 @@ def evaluate_node_trajectories(
     if stats is not None:
         stats.entries_considered += len(node.entries)
         stats.entries_scored += len(candidates)
-    return _score_candidates(candidates, component, spec, collector)
+    if not candidates:
+        if cache is not None:
+            cache.store_node(
+                key, node, component.stops.coords, candidates,
+                np.zeros(0, dtype=bool),
+            )
+        return 0.0
+    mask = _candidate_mask(candidates, component, spec, stats)
+    if cache is not None:
+        cache.store_node(key, node, component.stops.coords, candidates, mask)
+    return _aggregate_candidates(candidates, mask, spec, collector)
 
 
 def evaluate_service(
@@ -299,18 +347,23 @@ def evaluate_service(
     spec: ServiceSpec,
     collector: Optional[MatchCollector] = None,
     stats: Optional[QueryStats] = None,
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
 ) -> float:
     """Algorithm 1: the full service value ``SO(U, f)`` of one facility.
 
     Divide-and-conquer from the root: children whose region the component
     cannot serve are pruned; every visited node's own list is scored via
-    Algorithm 2.
+    Algorithm 2.  ``backend`` selects how exact distance checks run
+    (dense broadcast or stop grid — identical results); ``cache``
+    memoises per-(facility, node) coverage across evaluations.
     """
     tree.validate_spec(spec)
-    component = FacilityComponent.whole(facility, spec.psi).restricted_to(
-        tree.root.box
-    )
-    return _evaluate_rec(tree, tree.root, component, spec, collector, stats)
+    whole = FacilityComponent.whole(facility, spec.psi)
+    if backend is not None:
+        whole = whole.with_stops(backend_stops(whole.stops, spec.psi, backend))
+    component = whole.restricted_to(tree.root.box)
+    return _evaluate_rec(tree, tree.root, component, spec, collector, stats, cache)
 
 
 def _evaluate_rec(
@@ -320,12 +373,15 @@ def _evaluate_rec(
     spec: ServiceSpec,
     collector: Optional[MatchCollector],
     stats: Optional[QueryStats],
+    cache: Optional[CoverageCache] = None,
 ) -> float:
     if component.is_empty:
         return 0.0
     if stats is not None:
         stats.nodes_visited += 1
-    so = evaluate_node_trajectories(tree, node, component, spec, collector, stats)
+    so = evaluate_node_trajectories(
+        tree, node, component, spec, collector, stats, cache
+    )
     if node.children is not None:
         boxes = [child.box for child in node.children]
         child_components = intersecting_components(boxes, component)
@@ -334,5 +390,7 @@ def _evaluate_rec(
                 continue
             if child.sub.n_entries == 0:
                 continue  # empty subtree
-            so += _evaluate_rec(tree, child, child_comp, spec, collector, stats)
+            so += _evaluate_rec(
+                tree, child, child_comp, spec, collector, stats, cache
+            )
     return so

@@ -20,11 +20,12 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
+from ..engine.cache import CoverageCache
 from .maxkcov import MatchFn, Matches, MaxKCovResult, greedy_max_k_coverage
 
 __all__ = ["exact_max_k_coverage", "approximation_ratio"]
@@ -41,17 +42,22 @@ def exact_max_k_coverage(
     k: int,
     spec: ServiceSpec,
     match_fn: MatchFn,
+    cache: Optional[CoverageCache] = None,
 ) -> MaxKCovResult:
     """The optimal size-k subset under combined-coverage semantics.
 
     Exponential in the worst case — intended for the small instances used
-    to report approximation ratios.
+    to report approximation ratios.  ``cache`` dedupes ``match_fn``
+    calls against other solvers sharing the same
+    :class:`~repro.engine.CoverageCache` (greedy, genetic, repeats).
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     if not facilities:
         return MaxKCovResult((), 0.0, 0, ())
     k = min(k, len(facilities))
+    if cache is not None:
+        match_fn = cache.cached_match_fn(match_fn)
 
     matches: List[Matches] = [match_fn(f) for f in facilities]
 

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
+from ..engine.cache import CoverageCache
 from .maxkcov import MatchFn, Matches, MaxKCovResult
 
 __all__ = ["GeneticConfig", "genetic_max_k_coverage"]
@@ -61,12 +62,14 @@ def genetic_max_k_coverage(
     spec: ServiceSpec,
     match_fn: MatchFn,
     config: GeneticConfig = GeneticConfig(),
+    cache: Optional[CoverageCache] = None,
 ) -> MaxKCovResult:
     """Approximate MaxkCovRST with a generational GA.
 
     Chromosomes are k-subsets of facility indices.  Returns the best
     subset seen across all generations (elitism preserves it within the
-    population as well).
+    population as well).  ``cache`` dedupes ``match_fn`` calls against
+    other solvers sharing the same :class:`~repro.engine.CoverageCache`.
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
@@ -74,6 +77,8 @@ def genetic_max_k_coverage(
         return MaxKCovResult((), 0.0, 0, ())
     k = min(k, len(facilities))
     rng = random.Random(config.seed)
+    if cache is not None:
+        match_fn = cache.cached_match_fn(match_fn)
     matches: List[Matches] = [match_fn(f) for f in facilities]
     n = len(facilities)
 

@@ -21,9 +21,12 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
+from ..core.config import ProximityBackend
 from ..core.errors import QueryError
 from ..core.service import ServiceSpec
 from ..core.trajectory import FacilityRoute
+from ..engine.cache import CoverageCache
+from ..engine.grid import backend_stops
 from ..index.tqtree import QNode, TQTree
 from .components import FacilityComponent, intersecting_components
 from .evaluate import (
@@ -80,6 +83,8 @@ def _initial_state(
     facility: FacilityRoute,
     spec: ServiceSpec,
     stats: QueryStats,
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
 ) -> _State:
     """Lines 3.3–3.8 of Algorithm 3, with the ancestor correction.
 
@@ -90,6 +95,8 @@ def _initial_state(
     many — are evaluated exactly into ``aserve`` up front.
     """
     whole = FacilityComponent.whole(facility, spec.psi)
+    if backend is not None:
+        whole = whole.with_stops(backend_stops(whole.stops, spec.psi, backend))
     embr = whole.embr
     if embr is None:
         return _State(facility, [], 0.0, 0.0)
@@ -100,7 +107,7 @@ def _initial_state(
         for ancestor in tree.ancestors(anchor):
             ancestor_comp = whole.restricted_to(ancestor.box)
             aserve += evaluate_node_trajectories(
-                tree, ancestor, ancestor_comp, spec, stats=stats
+                tree, ancestor, ancestor_comp, spec, stats=stats, cache=cache
             )
     if component.is_empty:
         return _State(facility, [], aserve, 0.0)
@@ -110,7 +117,11 @@ def _initial_state(
 
 
 def _relax_state(
-    tree: TQTree, state: _State, spec: ServiceSpec, stats: QueryStats
+    tree: TQTree,
+    state: _State,
+    spec: ServiceSpec,
+    stats: QueryStats,
+    cache: Optional[CoverageCache] = None,
 ) -> _State:
     """Algorithm 4: expand every frontier pair one level."""
     stats.states_relaxed += 1
@@ -119,7 +130,9 @@ def _relax_state(
     qflist: List[Tuple[QNode, FacilityComponent]] = []
     for node, component in state.qflist:
         stats.nodes_visited += 1
-        aserve += evaluate_node_trajectories(tree, node, component, spec, stats=stats)
+        aserve += evaluate_node_trajectories(
+            tree, node, component, spec, stats=stats, cache=cache
+        )
         if node.children is None:
             continue
         boxes = [child.box for child in node.children]
@@ -138,12 +151,15 @@ def top_k_facilities(
     facilities: Sequence[FacilityRoute],
     k: int,
     spec: ServiceSpec,
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
 ) -> KMaxRRSTResult:
     """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
 
     Returns the exact ranking (service values included) in descending
     order of service.  ``k`` larger than ``len(facilities)`` returns
-    everything ranked.
+    everything ranked.  ``backend``/``cache`` accelerate the exact
+    distance work (:mod:`repro.engine`) without changing the ranking.
 
     Early termination (Section IV-B): every state's ``aserve`` is a lower
     bound on its final service, so the k-th largest ``aserve`` seen so far
@@ -178,7 +194,7 @@ def top_k_facilities(
 
     heap: List[Tuple[float, int, _State]] = []
     for facility in facilities:
-        state = _initial_state(tree, facility, spec, stats)
+        state = _initial_state(tree, facility, spec, stats, backend, cache)
         observe_lower_bound(facility.facility_id, state.aserve)
         heapq.heappush(heap, (-state.fserve, next(counter), state))
 
@@ -191,7 +207,7 @@ def top_k_facilities(
         if state.fserve < threshold():
             stats.states_pruned += 1
             continue  # can never reach the top-k
-        relaxed = _relax_state(tree, state, spec, stats)
+        relaxed = _relax_state(tree, state, spec, stats, cache)
         observe_lower_bound(state.facility.facility_id, relaxed.aserve)
         heapq.heappush(heap, (-relaxed.fserve, next(counter), relaxed))
     return KMaxRRSTResult(tuple(ranking), stats)

@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.config import ProximityBackend
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
+from ..engine.cache import CoverageCache
 from ..index.tqtree import TQTree
 from .baseline import BaselineIndex
 from .evaluate import MatchCollector, evaluate_service
@@ -66,15 +68,34 @@ class MaxKCovResult:
         return tuple(f.facility_id for f in self.selection)
 
 
-def tq_match_fn(tree: TQTree, spec: ServiceSpec) -> MatchFn:
-    """Match sets via TQ-tree evaluation (TQ(B) or TQ(Z) per tree config)."""
+def tq_match_fn(
+    tree: TQTree,
+    spec: ServiceSpec,
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
+) -> MatchFn:
+    """Match sets via TQ-tree evaluation (TQ(B) or TQ(Z) per tree config).
+
+    ``backend`` selects the exact-distance path, ``cache`` memoises both
+    the per-node coverage and the finished per-facility match sets —
+    results are identical either way.
+    """
 
     def fn(facility: FacilityRoute) -> Matches:
         collector = MatchCollector()
-        evaluate_service(tree, facility, spec, collector=collector)
+        evaluate_service(
+            tree, facility, spec, collector=collector, backend=backend, cache=cache
+        )
         return collector.as_dict()
 
-    return fn
+    if cache is None:
+        return fn
+    # a semantic key (not the closure's id): every tq_match_fn built for
+    # the same tree and spec shares entries, so repeated maxkcov_tq /
+    # solver-ensemble calls actually reuse match sets across calls
+    return cache.cached_match_fn(
+        fn, key=("tq-matches", id(tree), spec), pin=tree
+    )
 
 
 def baseline_match_fn(index: BaselineIndex, spec: ServiceSpec) -> MatchFn:
@@ -140,20 +161,30 @@ def maxkcov_tq(
     k: int,
     spec: ServiceSpec,
     prune_factor: int = 4,
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
 ) -> MaxKCovResult:
     """The paper's two-step greedy: G-TQ(B) / G-TQ(Z) per tree config.
 
     Step 1 shortlists the ``prune_factor * k`` individually best
     facilities with kMaxRRST; step 2 runs the greedy on the shortlist.
     ``prune_factor`` trades quality for speed (the paper's ``k' >= k``).
+    With ``backend``/``cache`` set, the exact distance work rides the
+    proximity engine, and repeated queries — another ``k``, a solver
+    ensemble over the same tree — reuse the per-node coverage and match
+    sets already computed (the answer is unchanged).
     """
     if prune_factor < 1:
         raise QueryError(f"prune_factor must be >= 1, got {prune_factor}")
     k_prime = min(len(facilities), prune_factor * k)
-    shortlist_result = top_k_facilities(tree, facilities, k_prime, spec)
+    shortlist_result = top_k_facilities(
+        tree, facilities, k_prime, spec, backend=backend, cache=cache
+    )
     shortlist = [fs.facility for fs in shortlist_result.ranking]
     users = list(tree.trajectories())
-    return greedy_max_k_coverage(users, shortlist, k, spec, tq_match_fn(tree, spec))
+    return greedy_max_k_coverage(
+        users, shortlist, k, spec, tq_match_fn(tree, spec, backend, cache)
+    )
 
 
 def maxkcov_baseline(

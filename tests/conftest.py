@@ -19,6 +19,15 @@ from repro import (
 TEST_PSI = 400.0
 
 
+def pytest_configure(config):
+    # Same marker the benchmark suite registers (benchmarks/conftest.py):
+    # `pytest -m engine_smoke` selects the fast engine-vs-oracle check.
+    config.addinivalue_line(
+        "markers",
+        "engine_smoke: fast proximity-engine-vs-oracle smoke check",
+    )
+
+
 @pytest.fixture(scope="session")
 def city() -> CityModel:
     return CityModel.generate(seed=11, size=10_000.0, n_hotspots=6)

@@ -57,3 +57,45 @@ def facility_sets(draw, min_size: int = 1, max_size: int = 8, **kw):
 def psis():
     """Serving distances from tiny to world-spanning."""
     return st.sampled_from([0.0, 1.0, 10.0, 50.0, 200.0, 800.0])
+
+
+@st.composite
+def dense_facilities(
+    draw, min_stops: int = 48, max_stops: int = 160, facility_id=None
+) -> FacilityRoute:
+    """A stop-dense facility: the regime the stop grid is built for.
+
+    Half the stops cluster around a few anchors (typical route shape,
+    many stops per grid cell), the rest scatter — so grids see both
+    crowded and empty neighbourhoods.
+    """
+    n = draw(st.integers(min_value=min_stops, max_value=max_stops))
+    anchors = [draw(points()) for _ in range(draw(st.integers(1, 4)))]
+    stops = []
+    for i in range(n):
+        if i % 2 == 0:
+            a = anchors[i % len(anchors)]
+            dx = draw(st.integers(-40, 40)) * 0.25
+            dy = draw(st.integers(-40, 40)) * 0.25
+            stops.append(
+                Point(
+                    min(max(a.x + dx, WORLD.xmin), WORLD.xmax),
+                    min(max(a.y + dy, WORLD.ymin), WORLD.ymax),
+                )
+            )
+        else:
+            stops.append(draw(points()))
+    fid = draw(st.integers(min_value=0, max_value=10**6)) if facility_id is None else facility_id
+    return FacilityRoute(fid, stops)
+
+
+def engine_psis():
+    """Serving distances that stress the stop grid.
+
+    Includes 0 (exact coincidence), values commensurate with the
+    0.25-snapped coordinate grid (1.25 = a 0.75/1.0 right triangle, 5.0
+    = a 3/4 one — distances *exactly* equal to psi occur often, probing
+    the closed boundary), cell-boundary-sized values, and radii large
+    enough that the grid must fall back or degenerate to one cell.
+    """
+    return st.sampled_from([0.0, 0.25, 1.25, 5.0, 32.0, 200.0, 1024.0, 2048.0])
