@@ -56,8 +56,17 @@ from .engine import (
     BatchResult,
     CoverageCache,
     GriddedStopSet,
+    ShardedStopGrid,
+    ShardedStopSet,
+    ShardStore,
     StopGrid,
     backend_stops,
+)
+from .runtime import (
+    SHARDS_AUTO,
+    QueryRuntime,
+    RuntimeConfig,
+    auto_shard_count,
 )
 from .core.errors import (
     DatasetError,
@@ -128,6 +137,14 @@ __all__ = [
     "CoverageCache",
     "BatchQueryEngine",
     "BatchResult",
+    "ShardedStopGrid",
+    "ShardedStopSet",
+    "ShardStore",
+    # execution runtime
+    "QueryRuntime",
+    "RuntimeConfig",
+    "SHARDS_AUTO",
+    "auto_shard_count",
     # oracles
     "score_trajectory",
     "brute_force_service",

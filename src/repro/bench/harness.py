@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.config import IndexVariant
+from ..core.config import IndexVariant, ProximityBackend, RuntimeConfig
 from ..core.service import ServiceModel, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
 from ..datasets import (
@@ -37,6 +37,7 @@ from ..index.builder import (
 )
 from ..index.tqtree import TQTree
 from ..queries.baseline import BaselineIndex
+from ..runtime import QueryRuntime
 
 __all__ = [
     "PAPER_PARAMETERS",
@@ -251,3 +252,24 @@ class WorkloadFactory:
     def spec(self, model: ServiceModel = ServiceModel.ENDPOINT) -> ServiceSpec:
         normalize = model is not ServiceModel.ENDPOINT
         return ServiceSpec(model, psi=self.defaults.psi, normalize=normalize)
+
+    # ------------------------------------------------------------------
+    # execution runtimes
+    # ------------------------------------------------------------------
+    def runtime(
+        self,
+        backend: ProximityBackend = ProximityBackend.AUTO,
+        shards: int = 0,
+        max_workers: Optional[int] = None,
+    ) -> QueryRuntime:
+        """A fresh :class:`~repro.runtime.QueryRuntime` for one sweep.
+
+        Deliberately *not* memoised: the runtime carries the coverage
+        cache and shard store, and a sweep that wants warm-cache numbers
+        should hold on to the object itself — handing the same runtime
+        to unrelated benchmarks would let one leg's cache contaminate
+        another's measurement.
+        """
+        return QueryRuntime(
+            RuntimeConfig(backend=backend, shards=shards, max_workers=max_workers)
+        )

@@ -1,6 +1,14 @@
 """Core substrates: geometry, z-ordering, trajectories, service values."""
 
-from .config import IndexVariant, ProximityBackend, TQTreeConfig
+from .config import (
+    SHARDS_AUTO,
+    IndexVariant,
+    ProximityBackend,
+    RuntimeConfig,
+    TQTreeConfig,
+    auto_shard_count,
+    resolve_shard_count,
+)
 from .errors import (
     DatasetError,
     GeometryError,
@@ -57,6 +65,10 @@ __all__ = [
     "IndexVariant",
     "ProximityBackend",
     "TQTreeConfig",
+    "RuntimeConfig",
+    "SHARDS_AUTO",
+    "auto_shard_count",
+    "resolve_shard_count",
     "ReproError",
     "GeometryError",
     "TrajectoryError",

@@ -1,6 +1,6 @@
-"""Configuration objects for index construction.
+"""Configuration objects for index construction and query execution.
 
-The knobs mirror the paper's Section III:
+The index knobs mirror the paper's Section III:
 
 * ``beta`` — the block size: maximum intra-node trajectories before a
   q-node splits, and the z-node bucket capacity.
@@ -14,6 +14,10 @@ Independently of how the *index* is built, :class:`ProximityBackend`
 selects how exact ``psi``-distance checks are executed at query time:
 the dense all-pairs broadcast (the reference oracle path) or the uniform
 stop grid of :mod:`repro.engine` (``AUTO`` picks per stop set).
+:class:`RuntimeConfig` bundles the backend with the sharding and worker
+settings consumed by :class:`repro.runtime.QueryRuntime` — none of these
+knobs ever changes a query answer, only how the geometric work is
+scheduled.
 """
 
 from __future__ import annotations
@@ -21,9 +25,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from .errors import IndexError_
+from .errors import IndexError_, QueryError
 
-__all__ = ["IndexVariant", "ProximityBackend", "TQTreeConfig"]
+__all__ = [
+    "IndexVariant",
+    "ProximityBackend",
+    "TQTreeConfig",
+    "RuntimeConfig",
+    "SHARDS_AUTO",
+    "auto_shard_count",
+    "resolve_shard_count",
+]
 
 
 class ProximityBackend(enum.Enum):
@@ -45,6 +57,77 @@ class ProximityBackend(enum.Enum):
     AUTO = "auto"
     """Grid for stop-dense sets, dense broadcast below a stop-count
     threshold where grid bookkeeping costs more than it saves."""
+
+
+#: Sentinel shard count: let :func:`auto_shard_count` pick from the stop
+#: count at stop-set dressing time.
+SHARDS_AUTO = 0
+
+#: Roughly how many stops one shard should own under ``AUTO`` — and
+#: therefore the effective sharding threshold: below this count the
+#: heuristic yields a single shard (no fan-out, partitioning overhead
+#: would exceed the win).  Small enough that per-shard key arrays stay
+#: cache-resident, large enough that per-shard dispatch is amortised.
+_SHARD_AUTO_STOPS_PER_SHARD = 2_500
+
+#: Upper bound on the ``AUTO`` shard count (diminishing returns beyond).
+_SHARD_AUTO_MAX = 8
+
+
+def auto_shard_count(n_stops: int) -> int:
+    """The ``AUTO`` heuristic: how many grid shards for ``n_stops`` stops.
+
+    One shard per ~:data:`_SHARD_AUTO_STOPS_PER_SHARD` stops, capped at
+    :data:`_SHARD_AUTO_MAX`.  The count only affects scheduling — shard
+    masks are unioned, so every count yields the same answer.
+    """
+    return min(_SHARD_AUTO_MAX, 1 + n_stops // _SHARD_AUTO_STOPS_PER_SHARD)
+
+
+def resolve_shard_count(shards: int, n_stops: int) -> int:
+    """``shards`` with the :data:`SHARDS_AUTO` sentinel resolved."""
+    if shards == SHARDS_AUTO:
+        return auto_shard_count(n_stops)
+    if shards < 1:
+        raise QueryError(f"shard count must be >= 1 (or SHARDS_AUTO), got {shards}")
+    return shards
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Execution settings for :class:`repro.runtime.QueryRuntime`.
+
+    Parameters
+    ----------
+    backend:
+        How exact ``psi``-distance checks run (never changes answers).
+    shards:
+        Grid shard count for stop sets the runtime dresses:
+        :data:`SHARDS_AUTO` picks per stop set via
+        :func:`auto_shard_count`; ``1`` forces the unsharded grid;
+        ``>= 2`` forces that many shards.
+    max_workers:
+        Threads for fanning a probe block out over shards.  ``None``
+        sizes the pool from ``os.cpu_count()``; ``0`` or ``1`` keeps the
+        fan-out serial (still sharded — the partition pays for itself
+        through cache locality even without parallelism).
+    """
+
+    backend: ProximityBackend = ProximityBackend.AUTO
+    shards: int = SHARDS_AUTO
+    max_workers: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, ProximityBackend):
+            raise QueryError(f"unknown proximity backend: {self.backend!r}")
+        if self.shards < 0:
+            raise QueryError(
+                f"shards must be >= 1 or SHARDS_AUTO (0), got {self.shards}"
+            )
+        if self.max_workers is not None and self.max_workers < 0:
+            raise QueryError(
+                f"max_workers must be >= 0 or None, got {self.max_workers}"
+            )
 
 
 class IndexVariant(enum.Enum):

@@ -20,6 +20,13 @@ facility's stops?" — without ever changing an answer.  Three pieces:
   probe-coordinate concatenation, grid construction, and masks across
   them; returns per-query scores plus one aggregated
   :class:`~repro.core.stats.QueryStats`.
+* :class:`ShardedStopGrid` / :class:`ShardedStopSet` / :class:`ShardStore`
+  (:mod:`.shards`) — the grid's sorted cell-key layout cut into N
+  contiguous shards, so one batched query fans out across slices (on a
+  thread pool when a :class:`repro.runtime.QueryRuntime` provisions
+  one), with per-shard :class:`~repro.core.stats.QueryStats` merged back
+  into the caller's totals and built shards shared across facilities by
+  stop-coordinate content hash.
 
 **When the grid wins:** stop-dense facilities (hundreds of stops) with
 small ``psi`` relative to the stop extent — the dense broadcast pays
@@ -40,6 +47,7 @@ differential-tested (``tests/test_engine_oracle.py``).
 from .batch import BatchQueryEngine, BatchResult
 from .cache import CoverageCache
 from .grid import AUTO_MIN_STOPS, GriddedStopSet, StopGrid, backend_stops
+from .shards import ShardedStopGrid, ShardedStopSet, ShardStore, StopShard
 
 __all__ = [
     "StopGrid",
@@ -49,4 +57,8 @@ __all__ = [
     "CoverageCache",
     "BatchQueryEngine",
     "BatchResult",
+    "StopShard",
+    "ShardedStopGrid",
+    "ShardedStopSet",
+    "ShardStore",
 ]

@@ -71,24 +71,48 @@ class BatchQueryEngine:
         order (matching the brute-force oracle).
     backend:
         How coverage masks are computed (:class:`ProximityBackend`);
-        ``AUTO`` grids stop-dense facilities and stays dense otherwise.
+        defaults to ``AUTO``, which grids stop-dense facilities and
+        stays dense otherwise.  Mutually exclusive with ``runtime``
+        (mixing the two would make the winning policy ambiguous, so it
+        raises — the same rule :func:`repro.runtime.coerce_runtime`
+        applies to the query functions).
     cache:
         Optional shared :class:`CoverageCache`; one is created per
         engine when omitted.  Masks are memoised per (stop set, psi),
-        so repeated and multi-model queries pay one mask.
+        so repeated and multi-model queries pay one mask.  Mutually
+        exclusive with ``runtime`` (whose cache the engine uses).
+    runtime:
+        A :class:`repro.runtime.QueryRuntime`: stop sets are dressed by
+        its policy (dense / gridded / sharded with executor fan-out),
+        masks memoise into its cache, and every ``query``/``run`` merges
+        its work counters into the runtime's grand total.  Accepted
+        duck-typed so the engine package never imports the runtime
+        layer above it.
     """
 
     def __init__(
         self,
         users: Sequence[Trajectory],
-        backend: ProximityBackend = ProximityBackend.AUTO,
+        backend: Optional[ProximityBackend] = None,
         cache: Optional[CoverageCache] = None,
+        runtime=None,
     ) -> None:
-        if not isinstance(backend, ProximityBackend):
-            raise QueryError(f"unknown proximity backend: {backend!r}")
         self.users: Tuple[Trajectory, ...] = tuple(users)
-        self.backend = backend
-        self.cache = cache if cache is not None else CoverageCache()
+        self.runtime = runtime
+        if runtime is not None:
+            if backend is not None or cache is not None:
+                raise QueryError(
+                    "pass either runtime= or the legacy backend=/cache= "
+                    "keywords, not both"
+                )
+            self.backend = runtime.config.backend
+            self.cache = runtime.cache
+        else:
+            backend = backend if backend is not None else ProximityBackend.AUTO
+            if not isinstance(backend, ProximityBackend):
+                raise QueryError(f"unknown proximity backend: {backend!r}")
+            self.backend = backend
+            self.cache = cache if cache is not None else CoverageCache()
         self._stops: dict = {}  # id(request object) -> (object, StopSet)
 
         n_users = len(self.users)
@@ -138,7 +162,10 @@ class BatchQueryEngine:
         entry = self._stops.get(key)
         if entry is not None and entry[0] is obj:
             return entry[1]
-        stops = backend_stops(_as_stop_set(obj), psi, self.backend)
+        if self.runtime is not None:
+            stops = self.runtime.stop_set(_as_stop_set(obj), psi)
+        else:
+            stops = backend_stops(_as_stop_set(obj), psi, self.backend)
         self._stops[key] = (obj, stops)
         return stops
 
@@ -184,9 +211,14 @@ class BatchQueryEngine:
         stats: Optional[QueryStats] = None,
     ) -> float:
         """``SO(U, f)`` for one request (same semantics as the oracle)."""
+        local = QueryStats() if self.runtime is not None else stats
         stops = self._resolve_stops(stops_like, spec.psi)
-        mask = self._mask(stops, spec.psi, stats)
+        mask = self._mask(stops, spec.psi, local)
         values = self._per_user_values(mask, spec)
+        if self.runtime is not None:
+            self.runtime.accrue(local)
+            if stats is not None:
+                stats.merge(local)
         if values.size == 0:
             return 0.0
         # in-order accumulation, bit-identical to the oracle's sum()
@@ -198,7 +230,8 @@ class BatchQueryEngine:
         """Score every ``(stops, spec)`` request against the user set.
 
         Returns one score per request (in order) and a single
-        :class:`QueryStats` aggregating the work of the whole batch.
+        :class:`QueryStats` aggregating the work of the whole batch
+        (also accrued into the runtime's total when one is attached).
         """
         stats = QueryStats()
         scores = tuple(self.query(obj, spec, stats) for obj, spec in requests)

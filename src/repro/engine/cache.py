@@ -44,7 +44,7 @@ class CoverageCache:
     def __init__(self) -> None:
         self._nodes: Dict[Hashable, Tuple[Any, np.ndarray, list, np.ndarray]] = {}
         self._matches: Dict[Hashable, Tuple[Any, Mapping]] = {}
-        self._masks: Dict[Hashable, Tuple[Any, np.ndarray]] = {}
+        self._masks: Dict[Hashable, Tuple[Any, np.ndarray, np.ndarray]] = {}
         self._match_fns: Dict[int, Callable] = {}
         self.hits = 0
         self.misses = 0

@@ -58,6 +58,19 @@ _OFFSETS: Tuple[Tuple[int, int], ...] = tuple(
 )
 
 
+def _snap_origin(vmin: float, cell: float) -> float:
+    """The largest lattice multiple of ``cell`` not exceeding ``vmin``.
+
+    Rounding in ``floor(vmin / cell) * cell`` can land a hair above
+    ``vmin``, which would push the minimum stop into cell index -1; step
+    one cell down when it does so indices stay non-negative.
+    """
+    origin = np.floor(vmin / cell) * cell
+    if origin > vmin:
+        origin -= cell
+    return float(origin)
+
+
 def _derive_cell_size(psi: float, extent: float) -> float:
     """A safe cell edge: ``> psi``, and never more than ~1M cells/axis."""
     cell = psi * (1.0 + _CELL_MARGIN)
@@ -67,6 +80,72 @@ def _derive_cell_size(psi: float, extent: float) -> float:
     if extent > 0.0 and extent / cell > _MAX_CELLS_PER_AXIS:
         cell = extent / _MAX_CELLS_PER_AXIS
     return cell
+
+
+def _validated_stop_coords(coords: np.ndarray, psi: float) -> np.ndarray:
+    """The ``(n, 2)`` float64 stop array, or a :exc:`QueryError`."""
+    arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise QueryError(f"stop coords must be (n, 2), got {arr.shape}")
+    if not psi >= 0:
+        raise QueryError(f"psi must be >= 0, got {psi}")
+    return arr
+
+
+def _grid_geometry(
+    arr: np.ndarray, psi: float, cell_size: Optional[float]
+) -> Tuple[float, float, float]:
+    """``(cell, ox, oy)`` for a populated stop array.
+
+    One place holds the geometric safety invariants every grid flavour
+    shares: the cell must exceed ``psi`` *strictly* (at ``cell == psi``,
+    floor rounding can land a within-psi stop outside the 3x3
+    neighbourhood) and the origin snaps down to the global lattice.
+    """
+    xmin, ymin = arr.min(axis=0)
+    xmax, ymax = arr.max(axis=0)
+    extent = float(max(xmax - xmin, ymax - ymin))
+    cell = float(cell_size) if cell_size is not None else _derive_cell_size(
+        psi, extent
+    )
+    if not cell > psi:
+        raise QueryError(
+            f"cell_size {cell} must exceed psi {psi} strictly: at "
+            f"cell == psi, floor rounding can land a within-psi stop "
+            f"outside the 3x3 neighbourhood"
+        )
+    return cell, _snap_origin(float(xmin), cell), _snap_origin(float(ymin), cell)
+
+
+def _cell_indices_of(
+    pts: np.ndarray, ox: float, oy: float, cell: float
+) -> np.ndarray:
+    """Integer cell coordinates of ``pts`` (may be negative)."""
+    out = np.empty(pts.shape, dtype=np.int64)
+    np.floor((pts[:, 0] - ox) / cell, out=out[:, 0], casting="unsafe")
+    np.floor((pts[:, 1] - oy) / cell, out=out[:, 1], casting="unsafe")
+    return out
+
+
+def _expand_candidate_pairs(
+    lo: np.ndarray, counts: np.ndarray, per_point: np.ndarray, total: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten per-(point, range) candidate runs into (point, stop) pairs.
+
+    ``lo``/``counts`` are ``(n, k)`` range starts and lengths into a
+    sorted stop layout; the result indexes every candidate pair so the
+    exact kernel can run over all of them at once.
+    """
+    counts_flat = counts.ravel()
+    run_ends = np.cumsum(counts_flat)
+    run_starts = run_ends - counts_flat
+    pair_point = np.repeat(np.arange(counts.shape[0]), per_point)
+    pair_stop = (
+        np.arange(total)
+        - np.repeat(run_starts, counts_flat)
+        + np.repeat(lo.ravel(), counts_flat)
+    )
+    return pair_point, pair_stop
 
 
 class StopGrid:
@@ -103,11 +182,7 @@ class StopGrid:
     def __init__(
         self, coords: np.ndarray, psi: float, cell_size: Optional[float] = None
     ) -> None:
-        arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise QueryError(f"stop coords must be (n, 2), got {arr.shape}")
-        if not psi >= 0:
-            raise QueryError(f"psi must be >= 0, got {psi}")
+        arr = _validated_stop_coords(coords, psi)
         self.coords = arr
         self.psi = float(psi)
         if arr.shape[0] == 0:
@@ -118,21 +193,11 @@ class StopGrid:
             self._sorted_coords = arr
             self.n_cells = 0
             return
-        xmin, ymin = arr.min(axis=0)
-        xmax, ymax = arr.max(axis=0)
-        extent = float(max(xmax - xmin, ymax - ymin))
-        cell = float(cell_size) if cell_size is not None else _derive_cell_size(
-            psi, extent
-        )
-        if not cell > psi:
-            raise QueryError(
-                f"cell_size {cell} must exceed psi {psi} strictly: at "
-                f"cell == psi, floor rounding can land a within-psi stop "
-                f"outside the 3x3 neighbourhood"
-            )
-        self.cell_size = cell
-        self._ox = float(xmin)
-        self._oy = float(ymin)
+        # The snapped origin means stop sets sharing a corner cell assign
+        # identical cell indices to identical stops (the sharded engine's
+        # ShardStore relies on this to share slices across facilities;
+        # masks are exact for any origin).
+        self.cell_size, self._ox, self._oy = _grid_geometry(arr, psi, cell_size)
         ij = self._cell_indices(arr)
         self._nx = int(ij[:, 0].max()) + 1
         self._ny = int(ij[:, 1].max()) + 1
@@ -156,11 +221,7 @@ class StopGrid:
         return self.coords.shape[0] == 0
 
     def _cell_indices(self, pts: np.ndarray) -> np.ndarray:
-        """Integer cell coordinates of ``pts`` (may be negative)."""
-        out = np.empty(pts.shape, dtype=np.int64)
-        np.floor((pts[:, 0] - self._ox) / self.cell_size, out=out[:, 0], casting="unsafe")
-        np.floor((pts[:, 1] - self._oy) / self.cell_size, out=out[:, 1], casting="unsafe")
-        return out
+        return _cell_indices_of(pts, self._ox, self._oy, self.cell_size)
 
     def _candidate_ranges(
         self, pts: np.ndarray
@@ -209,15 +270,7 @@ class StopGrid:
         if total == 0:
             return out
         # expand (point, candidate-stop) pairs flat, kernel-check at once
-        counts_flat = counts.ravel()
-        run_ends = np.cumsum(counts_flat)
-        run_starts = run_ends - counts_flat
-        pair_point = np.repeat(np.arange(n), per_point)
-        pair_stop = (
-            np.arange(total)
-            - np.repeat(run_starts, counts_flat)
-            + np.repeat(lo.ravel(), counts_flat)
-        )
+        pair_point, pair_stop = _expand_candidate_pairs(lo, counts, per_point, total)
         dx = pts[pair_point, 0] - self._sorted_coords[pair_stop, 0]
         dy = pts[pair_point, 1] - self._sorted_coords[pair_stop, 1]
         out[pair_point[psi_hit(dx, dy, psi)]] = True
@@ -257,7 +310,13 @@ class GriddedStopSet(StopSet):
         self._grid: Optional[StopGrid] = None
         self._coarse_grid: Optional[StopGrid] = None
 
-    def _grid_for(self, psi: float) -> Optional[StopGrid]:
+    def _build(self, psi: float):
+        """Grid factory for :meth:`_grid_for` — subclasses swap in other
+        grid implementations (the sharded set builds through its store)
+        while inheriting the provisioning policy unchanged."""
+        return StopGrid(self.coords, psi)
+
+    def _grid_for(self, psi: float):
         if self.n_stops < self.min_stops:
             return None
         if self._grid is None or psi * 4.0 < self._grid.psi:
@@ -265,7 +324,7 @@ class GriddedStopSet(StopSet):
             # query far below the provisioned psi would otherwise gather
             # 3x3 blocks of oversized cells.  Rebuilds are monotone
             # finer, so alternating radii cannot thrash.
-            self._grid = StopGrid(self.coords, min(psi, self.grid_psi))
+            self._grid = self._build(min(psi, self.grid_psi))
         if psi < self._grid.cell_size:
             # The fine grid is never replaced by a coarser one: one
             # oversized query must not degrade every later query at the
@@ -273,7 +332,7 @@ class GriddedStopSet(StopSet):
             return self._grid
         coarse = self._coarse_grid
         if coarse is None or psi >= coarse.cell_size:
-            coarse = StopGrid(self.coords, psi)
+            coarse = self._build(psi)
             self._coarse_grid = coarse
         return coarse
 

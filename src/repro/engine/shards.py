@@ -1,0 +1,554 @@
+"""Sharded stop grid: one batched coverage query fans out over grid shards.
+
+:class:`ShardedStopGrid` partitions the cells of a uniform stop grid into
+N *shards* by cell-key range over the same sorted-cell-key layout
+:class:`~repro.engine.grid.StopGrid` uses: stops are keyed by their cell,
+sorted once, and the sorted array is cut into N contiguous slices at cell
+boundaries (no cell ever straddles two shards).  A batched coverage query
+maps every probe point to its candidate key window once, fans the probe
+block out across the shards — each shard answers from its own slice —
+and unions the per-shard masks.  Shard tasks are independent, so the
+fan-out can ride a thread pool (the dense numpy kernels release the GIL);
+serially the partition still wins through cache locality, because each
+shard's key array is small and each shard sees mostly its own points.
+
+Within a shard, candidates are gathered by **row ranges** rather than the
+3x3 cell probes of :class:`StopGrid`: cell keys are ``ix * stride + iy``,
+so the three neighbour cells of one grid row form a *contiguous* key
+range and the 3x3 neighbourhood costs three ``searchsorted`` range pairs
+instead of nine cell probes.  The gathered candidate multiset is exactly
+the 3x3 union, and every candidate goes through the same
+:func:`~repro.core.service.psi_hit` kernel, so sharded masks are
+**bit-identical** to the dense oracle and to :class:`StopGrid` for every
+input — the mask union is order-independent, and
+``tests/test_shards.py`` holds every shard count to ``==``.
+
+Work accounting composes the same way: each shard task accrues its own
+:class:`~repro.core.stats.QueryStats`, merged into the caller's object
+via :meth:`QueryStats.merge`; a point probed by several shards is
+attributed to the first, so the merged totals equal an unsharded
+:class:`StopGrid` run exactly.
+
+:class:`ShardStore` deduplicates construction by *content*: whole grids
+are keyed by a stop-coordinate content hash (facilities with identical
+stop sets — repeated queries, equal components, copies of a route —
+share one build), and individual shard slices are interned by the
+content of their (keys, coords) pair, so facilities with overlapping
+stop sets whose shared region sorts into an identical slice share the
+built shard instead of rebuilding it.  Every hit re-verifies the stored
+arrays against the request before serving it, so a hash collision can
+only cause a miss, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import Executor
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.config import SHARDS_AUTO, resolve_shard_count
+from ..core.errors import QueryError
+from ..core.geometry import BBox, Point
+from ..core.service import StopSet, coverage_kernel, psi_hit
+from ..core.stats import QueryStats
+from .grid import (
+    GriddedStopSet,
+    _cell_indices_of,
+    _derive_cell_size,
+    _expand_candidate_pairs,
+    _grid_geometry,
+    _validated_stop_coords,
+)
+
+__all__ = ["StopShard", "ShardedStopGrid", "ShardedStopSet", "ShardStore"]
+
+#: Key stride between grid rows: ``key = ix * _KEY_STRIDE + iy``.  The
+#: cell-size derivation caps cells per axis at 2**20, so ``iy`` always
+#: fits under the stride and keys stay far inside int64.
+_KEY_STRIDE = np.int64(1) << np.int64(21)
+
+# the three x-offsets of the 3x3 neighbourhood's rows; each row's three
+# cells are one contiguous key range
+_ROW_OFFSETS = (-1, 0, 1)
+
+
+def _content_digest(arr: np.ndarray) -> bytes:
+    return hashlib.sha1(np.ascontiguousarray(arr).tobytes()).digest()
+
+
+class StopShard:
+    """One contiguous cell-key slice of a sharded grid (immutable).
+
+    ``keys``/``coords`` are the slice of the owning grid's sorted layout;
+    ``cell_starts`` is the prefix count of key-run starts, so the number
+    of distinct cells inside any ``[lo, hi)`` run — the
+    ``cells_probed`` accounting — is one subtraction.
+    """
+
+    __slots__ = ("keys", "coords", "key_lo", "key_hi", "cell_starts")
+
+    def __init__(self, keys: np.ndarray, coords: np.ndarray) -> None:
+        self.keys = np.ascontiguousarray(keys)
+        self.coords = np.ascontiguousarray(coords)
+        m = self.keys.size
+        if m:
+            self.key_lo = np.int64(self.keys[0])
+            self.key_hi = np.int64(self.keys[-1])
+        else:
+            self.key_lo = np.int64(0)
+            self.key_hi = np.int64(-1)
+        prefix = np.zeros(m + 1, dtype=np.int64)
+        if m:
+            run_start = np.empty(m, dtype=bool)
+            run_start[0] = True
+            np.not_equal(self.keys[1:], self.keys[:-1], out=run_start[1:])
+            np.cumsum(run_start, out=prefix[1:])
+        self.cell_starts = prefix
+
+    @property
+    def n_stops(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.cell_starts[-1])
+
+
+#: Default retention bounds.  A long-lived runtime dresses a grid per
+#: distinct (stop content, psi) it serves — restricted components
+#: included — so the store must not grow without limit; because it is a
+#: content-addressed *cache*, evicting is always safe (a future request
+#: simply rebuilds), so oldest-first eviction bounds memory at a small
+#: constant.
+_STORE_MAX_GRIDS = 256
+_STORE_MAX_SHARDS = 2_048
+
+
+class ShardStore:
+    """Content-addressed cache of built shards and sharded grids.
+
+    Both levels verify a hit's stored arrays against the request bitwise
+    before serving it, so aliasing through a hash collision is
+    impossible — a collision is simply a miss.  Entries are keyed purely
+    by content, so a store can be shared freely across facilities,
+    runtimes, and threads that build sequentially; retention is bounded
+    (oldest-first eviction past ``max_grids`` / ``max_shards``), which
+    keeps a service-style runtime's memory flat across an unbounded
+    query stream.
+    """
+
+    def __init__(
+        self,
+        max_grids: int = _STORE_MAX_GRIDS,
+        max_shards: int = _STORE_MAX_SHARDS,
+    ) -> None:
+        self.max_grids = max(1, int(max_grids))
+        self.max_shards = max(1, int(max_shards))
+        self._grids: Dict[Tuple, "ShardedStopGrid"] = {}
+        self._shards: Dict[Tuple, StopShard] = {}
+        self.grid_hits = 0
+        self.grid_misses = 0
+        self.shard_hits = 0
+        self.shard_misses = 0
+
+    @staticmethod
+    def _evict_oldest(table: Dict, cap: int) -> None:
+        while len(table) > cap:  # dicts iterate in insertion order
+            del table[next(iter(table))]
+
+    # ------------------------------------------------------------------
+    def sharded_grid(
+        self,
+        coords: np.ndarray,
+        psi: float,
+        n_shards: int = SHARDS_AUTO,
+        cell_size: Optional[float] = None,
+    ) -> "ShardedStopGrid":
+        """A built :class:`ShardedStopGrid`, shared across callers whose
+        stop coordinates are content-identical."""
+        arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+        key = (
+            arr.shape,
+            _content_digest(arr),
+            float(psi),
+            int(n_shards),
+            None if cell_size is None else float(cell_size),
+        )
+        hit = self._grids.get(key)
+        if hit is not None and np.array_equal(hit.coords, arr):
+            self.grid_hits += 1
+            return hit
+        self.grid_misses += 1
+        grid = ShardedStopGrid(arr, psi, n_shards, cell_size=cell_size, store=self)
+        self._grids[key] = grid
+        self._evict_oldest(self._grids, self.max_grids)
+        return grid
+
+    def intern_shard(self, keys: np.ndarray, coords: np.ndarray) -> StopShard:
+        """The shard for this exact (keys, coords) slice, built once.
+
+        Content addressing is sound regardless of which grid first built
+        the slice: a shard is fully described by its sorted keys and
+        coordinates, so any grid requesting identical content can share
+        the object (this is how overlapping stop sets share shards)."""
+        key = (keys.size, _content_digest(keys), _content_digest(coords))
+        hit = self._shards.get(key)
+        if (
+            hit is not None
+            and np.array_equal(hit.keys, keys)
+            and np.array_equal(hit.coords, coords)
+        ):
+            self.shard_hits += 1
+            return hit
+        self.shard_misses += 1
+        shard = StopShard(keys, coords)
+        self._shards[key] = shard
+        self._evict_oldest(self._shards, self.max_shards)
+        return shard
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._grids.clear()
+        self._shards.clear()
+
+    def __len__(self) -> int:
+        return len(self._grids) + len(self._shards)
+
+
+class ShardedStopGrid:
+    """A uniform stop grid partitioned into cell-key range shards.
+
+    Parameters
+    ----------
+    coords:
+        ``(m, 2)`` stop coordinates.
+    psi:
+        The serving distance the grid is provisioned for; queries with a
+        radius at or above the cell size fall back to the exact dense
+        kernel (identical results, like :class:`StopGrid`).
+    n_shards:
+        How many contiguous cell-key slices to cut the sorted layout
+        into; :data:`~repro.core.config.SHARDS_AUTO` resolves from the
+        stop count.  Cuts align to cell boundaries, so a slice can be
+        empty when stops concentrate in few cells — empty shards are
+        valid and simply answer nothing.
+    cell_size:
+        Override the derived cell edge (tests force degenerate layouts).
+    store:
+        Optional :class:`ShardStore` interning the shard slices.
+
+    The lattice origin is snapped down to a multiple of the cell size, so
+    stop sets sharing a bounding-box corner cell assign identical keys to
+    identical stops — which is what lets a :class:`ShardStore` share
+    slices between overlapping stop sets.
+    """
+
+    __slots__ = (
+        "coords",
+        "psi",
+        "cell_size",
+        "n_shards",
+        "shards",
+        "_ox",
+        "_oy",
+        "_nx",
+        "_ny",
+    )
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        psi: float,
+        n_shards: int = SHARDS_AUTO,
+        cell_size: Optional[float] = None,
+        store: Optional[ShardStore] = None,
+    ) -> None:
+        arr = _validated_stop_coords(coords, psi)
+        self.coords = arr
+        self.psi = float(psi)
+        m = arr.shape[0]
+        self.n_shards = resolve_shard_count(n_shards, m)
+        if m == 0:
+            self.cell_size = _derive_cell_size(psi, 0.0)
+            self._ox = self._oy = 0.0
+            self._nx = self._ny = 0
+            self.shards = tuple(
+                StopShard(np.zeros(0, dtype=np.int64), arr)
+                for _ in range(self.n_shards)
+            )
+            return
+        # shared geometry with StopGrid: snapped origin means identical
+        # stops in stop sets sharing the corner cell get identical keys
+        # (which is what makes shard slices shareable across facilities)
+        self.cell_size, self._ox, self._oy = _grid_geometry(arr, psi, cell_size)
+        ij = self._cell_indices(arr)
+        self._nx = int(ij[:, 0].max()) + 1
+        self._ny = int(ij[:, 1].max()) + 1
+        if self._ny >= int(_KEY_STRIDE):
+            # Derived cell sizes cap cells per axis far below the stride;
+            # only a manual cell_size override can get here.  Row keys
+            # would alias across rows — masks would stay exact (the
+            # kernel filters) but the gathered candidate multiset, and
+            # with it the documented stats parity with StopGrid, would
+            # not.
+            raise QueryError(
+                f"grid of {self._ny} rows exceeds the shard key stride "
+                f"({int(_KEY_STRIDE)}); use a larger cell_size"
+            )
+        keys = ij[:, 0] * _KEY_STRIDE + ij[:, 1]
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_coords = arr[order]
+        self.shards = tuple(
+            self._build_shards(sorted_keys, sorted_coords, store)
+        )
+
+    def _build_shards(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_coords: np.ndarray,
+        store: Optional[ShardStore],
+    ) -> List[StopShard]:
+        """Cut the sorted layout into ``n_shards`` cell-aligned slices.
+
+        Targets are equal stop counts; each cut retreats to the start of
+        the cell run it lands in, so no cell straddles two shards and a
+        cut that falls exactly on a run boundary stays there (which is
+        what lets overlapping stop sets produce content-identical slices
+        for the store to share).  When stops concentrate into fewer
+        cells than shards, cuts coincide and the surplus shards come
+        out empty.
+        """
+        m = sorted_keys.size
+        cuts = [0]
+        for s in range(1, self.n_shards):
+            pos = (m * s) // self.n_shards
+            pos = int(
+                np.searchsorted(sorted_keys, sorted_keys[pos], side="left")
+            )
+            cuts.append(max(min(pos, m), cuts[-1]))
+        cuts.append(m)
+        shards: List[StopShard] = []
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            keys_slice = np.ascontiguousarray(sorted_keys[a:b])
+            coords_slice = np.ascontiguousarray(sorted_coords[a:b])
+            if store is not None and b > a:
+                shards.append(store.intern_shard(keys_slice, coords_slice))
+            else:
+                shards.append(StopShard(keys_slice, coords_slice))
+        return shards
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stops(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return self.coords.shape[0] == 0
+
+    def _cell_indices(self, pts: np.ndarray) -> np.ndarray:
+        return _cell_indices_of(pts, self._ox, self._oy, self.cell_size)
+
+    # ------------------------------------------------------------------
+    def covered_mask(
+        self,
+        coords: np.ndarray,
+        psi: float,
+        stats: Optional[QueryStats] = None,
+        executor: Optional[Executor] = None,
+    ) -> np.ndarray:
+        """Boolean mask: which of ``coords`` rows are within ``psi`` of a
+        stop.  Bit-identical to the dense kernel and to
+        :meth:`StopGrid.covered_mask` for every input and shard count.
+
+        ``executor``, when given, runs the per-shard probes concurrently;
+        the mask union is order-independent, so scheduling never affects
+        the answer.  Per-shard work counters are merged into ``stats``
+        via :meth:`QueryStats.merge`, with multi-shard points attributed
+        to their first probing shard so the merged totals equal an
+        unsharded run.
+        """
+        pts = np.asarray(coords, dtype=np.float64)
+        if pts.size == 0:
+            return np.zeros(0, dtype=bool)
+        n = pts.shape[0]
+        if self.is_empty:
+            return np.zeros(n, dtype=bool)
+        if psi >= self.cell_size:
+            # Grid too fine for this radius (cells must exceed psi
+            # strictly): run the exact dense kernel instead.
+            return coverage_kernel(pts, self.coords, psi, stats)
+        ij = self._cell_indices(pts)
+        cx = ij[:, 0]
+        cy = ij[:, 1]
+        ylo = np.maximum(cy - 1, 0)
+        yhi = np.minimum(cy + 1, self._ny - 1)
+        # every candidate key of a point lies inside [kmin, kmax]: the
+        # per-shard prefilter keeps only points whose window overlaps
+        # the shard's key range
+        kmin = (cx - 1) * _KEY_STRIDE + ylo
+        kmax = (cx + 1) * _KEY_STRIDE + yhi
+
+        tasks = [shard for shard in self.shards if shard.n_stops]
+        probe = self._shard_probe(pts, cx, ylo, yhi, kmin, kmax, psi)
+        if executor is not None and len(tasks) > 1:
+            results = list(executor.map(probe, tasks))
+        else:
+            results = [probe(shard) for shard in tasks]
+
+        out = np.zeros(n, dtype=bool)
+        claimed = np.zeros(n, dtype=bool) if stats is not None else None
+        for res in results:  # fixed shard order: deterministic stats
+            if res is None:
+                continue
+            sel, scanned, hits, evals, cells = res
+            out[hits] = True
+            if stats is not None:
+                shard_stats = QueryStats(
+                    distance_evals=evals, cells_probed=cells
+                )
+                scan_pts = sel[scanned]
+                if scan_pts.size:
+                    fresh = scan_pts[~claimed[scan_pts]]
+                    shard_stats.points_scanned = int(fresh.size)
+                    claimed[scan_pts] = True
+                stats.merge(shard_stats)
+        return out
+
+    def _shard_probe(self, pts, cx, ylo, yhi, kmin, kmax, psi):
+        """The per-shard task: row-range gather + exact kernel.
+
+        Reads only shared immutable arrays, writes nothing shared — safe
+        under a thread-pool executor.  Returns ``None`` when no point's
+        candidate window overlaps the shard, else
+        ``(sel, scanned, hit_points, distance_evals, cells_probed)``.
+        """
+        nx = self._nx
+
+        def probe(shard: StopShard):
+            sel = np.nonzero((kmax >= shard.key_lo) & (kmin <= shard.key_hi))[0]
+            ns = sel.size
+            if ns == 0:
+                return None
+            scx = cx[sel]
+            sylo = ylo[sel]
+            syhi = yhi[sel]
+            klo = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
+            khi = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
+            for col, dx in enumerate(_ROW_OFFSETS):
+                rx = scx + dx
+                valid = (rx >= 0) & (rx < nx)
+                base = rx * _KEY_STRIDE
+                # invalid rows get an empty [-1, -2] range (keys are >= 0)
+                klo[:, col] = np.where(valid, base + sylo, np.int64(-1))
+                khi[:, col] = np.where(valid, base + syhi, np.int64(-2))
+            lo = np.searchsorted(shard.keys, klo, side="left")
+            hi = np.searchsorted(shard.keys, khi, side="right")
+            counts = hi - lo
+            np.maximum(counts, 0, out=counts)  # clipped y-windows
+            per_point = counts.sum(axis=1)
+            total = int(per_point.sum())
+            scanned = per_point > 0
+            if total == 0:
+                return sel, scanned, np.zeros(0, dtype=np.int64), 0, 0
+            prefix = shard.cell_starts
+            cells = int(np.maximum(prefix[hi] - prefix[lo], 0).sum())
+            # expand (point, candidate-stop) pairs flat, kernel at once
+            pair_point, pair_stop = _expand_candidate_pairs(
+                lo, counts, per_point, total
+            )
+            sub = pts[sel]
+            dx_ = sub[pair_point, 0] - shard.coords[pair_stop, 0]
+            dy_ = sub[pair_point, 1] - shard.coords[pair_stop, 1]
+            hits = sel[pair_point[psi_hit(dx_, dy_, psi)]]
+            return sel, scanned, hits, total, cells
+
+        return probe
+
+    def covers_point(
+        self,
+        p: Point,
+        psi: float,
+        stats: Optional[QueryStats] = None,
+        executor: Optional[Executor] = None,
+    ) -> bool:
+        """True when ``p`` is within ``psi`` of any stop."""
+        mask = self.covered_mask(
+            np.array([[p.x, p.y]], dtype=np.float64), psi, stats, executor
+        )
+        return bool(mask.size and mask[0])
+
+
+class ShardedStopSet(GriddedStopSet):
+    """A :class:`StopSet` whose coverage checks fan out over grid shards.
+
+    Subclasses :class:`GriddedStopSet` so the lazy fine/coarse grid
+    provisioning policy lives in exactly one place; only the grid
+    factory (:meth:`_build` — sharded, through the ``store`` when one is
+    given, so facilities with identical or overlapping stop content
+    share builds) and the executor plumbing differ.  ``executor`` may be
+    an :class:`~concurrent.futures.Executor`, or a zero-arg callable
+    resolved at *query* time returning one or ``None`` — a
+    :class:`repro.runtime.QueryRuntime` passes its live-executor getter,
+    so stop sets dressed before the runtime closes degrade to serial
+    probing instead of scheduling on a shut-down pool.
+    """
+
+    __slots__ = ("shards", "_store", "_executor")
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        psi: float,
+        shards: int = SHARDS_AUTO,
+        min_stops: int = 1,
+        store: Optional[ShardStore] = None,
+        executor: Union[Executor, Callable[[], Optional[Executor]], None] = None,
+    ) -> None:
+        if shards != SHARDS_AUTO:
+            resolve_shard_count(shards, int(np.asarray(coords).shape[0]))
+        super().__init__(coords, psi, min_stops)
+        self.shards = shards
+        self._store = store
+        self._executor = executor
+
+    def _build(self, psi: float) -> ShardedStopGrid:
+        if self._store is not None:
+            return self._store.sharded_grid(self.coords, psi, self.shards)
+        return ShardedStopGrid(self.coords, psi, self.shards)
+
+    def _live_executor(self) -> Optional[Executor]:
+        ex = self._executor
+        return ex() if callable(ex) else ex
+
+    # ------------------------------------------------------------------
+    def covers_point(
+        self, p: Point, psi: float, stats: Optional[QueryStats] = None
+    ) -> bool:
+        grid = self._grid_for(psi)
+        if grid is None:
+            return StopSet.covers_point(self, p, psi, stats)
+        return grid.covers_point(p, psi, stats, self._live_executor())
+
+    def covered_mask(
+        self, coords: np.ndarray, psi: float, stats: Optional[QueryStats] = None
+    ) -> np.ndarray:
+        grid = self._grid_for(psi)
+        if grid is None:
+            return StopSet.covered_mask(self, coords, psi, stats)
+        return grid.covered_mask(coords, psi, stats, self._live_executor())
+
+    def restricted_to(self, box: BBox) -> "ShardedStopSet":
+        if self.is_empty:
+            return self
+        return ShardedStopSet(
+            self.coords[self._restriction_mask(box)],
+            self.grid_psi,
+            self.shards,
+            self.min_stops,
+            self._store,
+            self._executor,
+        )

@@ -20,15 +20,19 @@ A :class:`MatchCollector` can ride along to record *which* points of
 which users were served — MaxkCovRST needs these per-facility match sets
 to price combined coverage.
 
-Two optional accelerators from :mod:`repro.engine` plug in without
-changing any result: ``backend`` swaps the component's exact-distance
-checks onto the uniform stop grid, and ``cache`` memoises each
-(facility, q-node) candidate list and coverage mask so a re-walk in the
-same mode — a repeated query for the same facility, ancestor scans
-across kMaxRRST relax rounds, solver ensembles sharing match sets —
-skips the geometric work.  (Collecting and non-collecting walks select
-different candidate sets, so the cache keys them apart rather than
-sharing across them.)
+Acceleration plugs in through one object without changing any result: a
+:class:`~repro.runtime.QueryRuntime` passed as ``runtime`` selects how
+the component's exact-distance checks execute (dense broadcast, uniform
+stop grid, or sharded grid fanned out on the runtime's workers),
+memoises each (facility, q-node) candidate list and coverage mask in
+the runtime's cache so a re-walk in the same mode — a repeated query
+for the same facility, ancestor scans across kMaxRRST relax rounds,
+solver ensembles sharing match sets — skips the geometric work, and
+accrues this evaluation's work counters into the runtime's grand total.
+(Collecting and non-collecting walks select different candidate sets,
+so the cache keys them apart rather than sharing across them.)  The
+pre-runtime ``backend=`` / ``cache=`` keywords remain as deprecated
+shims via :func:`~repro.runtime.coerce_runtime`.
 """
 
 from __future__ import annotations
@@ -42,9 +46,9 @@ from ..core.service import ServiceModel, ServiceSpec
 from ..core.stats import QueryStats
 from ..core.trajectory import FacilityRoute
 from ..engine.cache import CoverageCache
-from ..engine.grid import backend_stops
 from ..index.entries import IndexEntry
 from ..index.tqtree import QNode, TQTree
+from ..runtime import QueryRuntime, coerce_runtime
 from .components import FacilityComponent, intersecting_components
 
 __all__ = [
@@ -349,21 +353,36 @@ def evaluate_service(
     stats: Optional[QueryStats] = None,
     backend: Optional[ProximityBackend] = None,
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> float:
     """Algorithm 1: the full service value ``SO(U, f)`` of one facility.
 
     Divide-and-conquer from the root: children whose region the component
     cannot serve are pruned; every visited node's own list is scored via
-    Algorithm 2.  ``backend`` selects how exact distance checks run
-    (dense broadcast or stop grid — identical results); ``cache``
-    memoises per-(facility, node) coverage across evaluations.
+    Algorithm 2.  ``runtime`` selects how exact distance checks execute
+    (dense broadcast, stop grid, or sharded fan-out — identical results),
+    memoises per-(facility, node) coverage in its cache, and accrues this
+    evaluation's work into its grand total.  ``backend`` / ``cache`` are
+    the deprecated pre-runtime spellings.
     """
+    runtime = coerce_runtime(runtime, backend, cache)
     tree.validate_spec(spec)
     whole = FacilityComponent.whole(facility, spec.psi)
-    if backend is not None:
-        whole = whole.with_stops(backend_stops(whole.stops, spec.psi, backend))
+    if runtime is None:
+        component = whole.restricted_to(tree.root.box)
+        return _evaluate_rec(
+            tree, tree.root, component, spec, collector, stats, None
+        )
+    whole = whole.with_stops(runtime.stop_set(whole.stops, spec.psi))
     component = whole.restricted_to(tree.root.box)
-    return _evaluate_rec(tree, tree.root, component, spec, collector, stats, cache)
+    local = QueryStats()
+    so = _evaluate_rec(
+        tree, tree.root, component, spec, collector, local, runtime.cache
+    )
+    runtime.accrue(local)
+    if stats is not None:
+        stats.merge(local)
+    return so
 
 
 def _evaluate_rec(

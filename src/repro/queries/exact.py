@@ -26,6 +26,7 @@ from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
 from ..engine.cache import CoverageCache
+from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult, greedy_max_k_coverage
 
 __all__ = ["exact_max_k_coverage", "approximation_ratio"]
@@ -43,21 +44,23 @@ def exact_max_k_coverage(
     spec: ServiceSpec,
     match_fn: MatchFn,
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """The optimal size-k subset under combined-coverage semantics.
 
     Exponential in the worst case — intended for the small instances used
-    to report approximation ratios.  ``cache`` dedupes ``match_fn``
-    calls against other solvers sharing the same
-    :class:`~repro.engine.CoverageCache` (greedy, genetic, repeats).
+    to report approximation ratios.  A ``runtime`` dedupes ``match_fn``
+    calls against other solvers sharing its cache (greedy, genetic,
+    repeats); ``cache`` is the deprecated pre-runtime spelling.
     """
+    runtime = coerce_runtime(runtime, None, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     if not facilities:
         return MaxKCovResult((), 0.0, 0, ())
     k = min(k, len(facilities))
-    if cache is not None:
-        match_fn = cache.cached_match_fn(match_fn)
+    if runtime is not None:
+        match_fn = runtime.cache.cached_match_fn(match_fn)
 
     matches: List[Matches] = [match_fn(f) for f in facilities]
 

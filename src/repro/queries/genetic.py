@@ -23,6 +23,7 @@ from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
 from ..engine.cache import CoverageCache
+from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult
 
 __all__ = ["GeneticConfig", "genetic_max_k_coverage"]
@@ -63,22 +64,25 @@ def genetic_max_k_coverage(
     match_fn: MatchFn,
     config: GeneticConfig = GeneticConfig(),
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """Approximate MaxkCovRST with a generational GA.
 
     Chromosomes are k-subsets of facility indices.  Returns the best
     subset seen across all generations (elitism preserves it within the
-    population as well).  ``cache`` dedupes ``match_fn`` calls against
-    other solvers sharing the same :class:`~repro.engine.CoverageCache`.
+    population as well).  A ``runtime`` dedupes ``match_fn`` calls
+    against other solvers sharing its cache; ``cache`` is the deprecated
+    pre-runtime spelling.
     """
+    runtime = coerce_runtime(runtime, None, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     if not facilities:
         return MaxKCovResult((), 0.0, 0, ())
     k = min(k, len(facilities))
     rng = random.Random(config.seed)
-    if cache is not None:
-        match_fn = cache.cached_match_fn(match_fn)
+    if runtime is not None:
+        match_fn = runtime.cache.cached_match_fn(match_fn)
     matches: List[Matches] = [match_fn(f) for f in facilities]
     n = len(facilities)
 

@@ -26,8 +26,8 @@ from ..core.errors import QueryError
 from ..core.service import ServiceSpec
 from ..core.trajectory import FacilityRoute
 from ..engine.cache import CoverageCache
-from ..engine.grid import backend_stops
 from ..index.tqtree import QNode, TQTree
+from ..runtime import QueryRuntime, coerce_runtime
 from .components import FacilityComponent, intersecting_components
 from .evaluate import (
     QueryStats,
@@ -83,8 +83,7 @@ def _initial_state(
     facility: FacilityRoute,
     spec: ServiceSpec,
     stats: QueryStats,
-    backend: Optional[ProximityBackend] = None,
-    cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> _State:
     """Lines 3.3–3.8 of Algorithm 3, with the ancestor correction.
 
@@ -94,9 +93,10 @@ def _initial_state(
     the serving envelope), so those ancestor lists — at most tree-height
     many — are evaluated exactly into ``aserve`` up front.
     """
+    cache = runtime.cache if runtime is not None else None
     whole = FacilityComponent.whole(facility, spec.psi)
-    if backend is not None:
-        whole = whole.with_stops(backend_stops(whole.stops, spec.psi, backend))
+    if runtime is not None:
+        whole = whole.with_stops(runtime.stop_set(whole.stops, spec.psi))
     embr = whole.embr
     if embr is None:
         return _State(facility, [], 0.0, 0.0)
@@ -153,13 +153,16 @@ def top_k_facilities(
     spec: ServiceSpec,
     backend: Optional[ProximityBackend] = None,
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> KMaxRRSTResult:
     """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
 
     Returns the exact ranking (service values included) in descending
     order of service.  ``k`` larger than ``len(facilities)`` returns
-    everything ranked.  ``backend``/``cache`` accelerate the exact
-    distance work (:mod:`repro.engine`) without changing the ranking.
+    everything ranked.  ``runtime`` accelerates the exact distance work
+    (:mod:`repro.engine` via :mod:`repro.runtime`) without changing the
+    ranking, and accrues the query's work counters into its total;
+    ``backend``/``cache`` are the deprecated pre-runtime spellings.
 
     Early termination (Section IV-B): every state's ``aserve`` is a lower
     bound on its final service, so the k-th largest ``aserve`` seen so far
@@ -167,6 +170,7 @@ def top_k_facilities(
     strictly below it can never enter the top-k and is dropped instead of
     being relaxed further.
     """
+    runtime = coerce_runtime(runtime, backend, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     tree.validate_spec(spec)
@@ -192,9 +196,10 @@ def top_k_facilities(
             threshold_cache[0] = sorted(best_lower.values(), reverse=True)[k - 1]
         return threshold_cache[0]
 
+    node_cache = runtime.cache if runtime is not None else None
     heap: List[Tuple[float, int, _State]] = []
     for facility in facilities:
-        state = _initial_state(tree, facility, spec, stats, backend, cache)
+        state = _initial_state(tree, facility, spec, stats, runtime)
         observe_lower_bound(facility.facility_id, state.aserve)
         heapq.heappush(heap, (-state.fserve, next(counter), state))
 
@@ -207,7 +212,9 @@ def top_k_facilities(
         if state.fserve < threshold():
             stats.states_pruned += 1
             continue  # can never reach the top-k
-        relaxed = _relax_state(tree, state, spec, stats, cache)
+        relaxed = _relax_state(tree, state, spec, stats, node_cache)
         observe_lower_bound(state.facility.facility_id, relaxed.aserve)
         heapq.heappush(heap, (-relaxed.fserve, next(counter), relaxed))
+    if runtime is not None:
+        runtime.accrue(stats)
     return KMaxRRSTResult(tuple(ranking), stats)

@@ -30,6 +30,7 @@ from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
 from ..engine.cache import CoverageCache
 from ..index.tqtree import TQTree
+from ..runtime import QueryRuntime, coerce_runtime
 from .baseline import BaselineIndex
 from .evaluate import MatchCollector, evaluate_service
 from .kmaxrrst import top_k_facilities
@@ -73,27 +74,30 @@ def tq_match_fn(
     spec: ServiceSpec,
     backend: Optional[ProximityBackend] = None,
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> MatchFn:
     """Match sets via TQ-tree evaluation (TQ(B) or TQ(Z) per tree config).
 
-    ``backend`` selects the exact-distance path, ``cache`` memoises both
-    the per-node coverage and the finished per-facility match sets —
-    results are identical either way.
+    ``runtime`` selects the exact-distance path and memoises both the
+    per-node coverage and the finished per-facility match sets in its
+    cache — results are identical either way.  ``backend`` / ``cache``
+    are the deprecated pre-runtime spellings.
     """
+    runtime = coerce_runtime(runtime, backend, cache)
 
     def fn(facility: FacilityRoute) -> Matches:
         collector = MatchCollector()
         evaluate_service(
-            tree, facility, spec, collector=collector, backend=backend, cache=cache
+            tree, facility, spec, collector=collector, runtime=runtime
         )
         return collector.as_dict()
 
-    if cache is None:
+    if runtime is None:
         return fn
     # a semantic key (not the closure's id): every tq_match_fn built for
     # the same tree and spec shares entries, so repeated maxkcov_tq /
     # solver-ensemble calls actually reuse match sets across calls
-    return cache.cached_match_fn(
+    return runtime.cache.cached_match_fn(
         fn, key=("tq-matches", id(tree), spec), pin=tree
     )
 
@@ -163,27 +167,30 @@ def maxkcov_tq(
     prune_factor: int = 4,
     backend: Optional[ProximityBackend] = None,
     cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """The paper's two-step greedy: G-TQ(B) / G-TQ(Z) per tree config.
 
     Step 1 shortlists the ``prune_factor * k`` individually best
     facilities with kMaxRRST; step 2 runs the greedy on the shortlist.
     ``prune_factor`` trades quality for speed (the paper's ``k' >= k``).
-    With ``backend``/``cache`` set, the exact distance work rides the
-    proximity engine, and repeated queries — another ``k``, a solver
-    ensemble over the same tree — reuse the per-node coverage and match
-    sets already computed (the answer is unchanged).
+    With a ``runtime``, the exact distance work rides the proximity
+    engine under the runtime's policy, and repeated queries — another
+    ``k``, a solver ensemble over the same tree — reuse the per-node
+    coverage and match sets already computed (the answer is unchanged).
+    ``backend``/``cache`` are the deprecated pre-runtime spellings.
     """
+    runtime = coerce_runtime(runtime, backend, cache)
     if prune_factor < 1:
         raise QueryError(f"prune_factor must be >= 1, got {prune_factor}")
     k_prime = min(len(facilities), prune_factor * k)
     shortlist_result = top_k_facilities(
-        tree, facilities, k_prime, spec, backend=backend, cache=cache
+        tree, facilities, k_prime, spec, runtime=runtime
     )
     shortlist = [fs.facility for fs in shortlist_result.ranking]
     users = list(tree.trajectories())
     return greedy_max_k_coverage(
-        users, shortlist, k, spec, tq_match_fn(tree, spec, backend, cache)
+        users, shortlist, k, spec, tq_match_fn(tree, spec, runtime=runtime)
     )
 
 

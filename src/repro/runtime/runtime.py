@@ -1,0 +1,266 @@
+"""The unified query execution context.
+
+PR 1 bolted the proximity accelerators onto the query layer as separate
+threaded-through parameters — every evaluator grew ``backend=`` and
+``cache=`` keywords, and scaling further (parallel shards, shared shard
+stores, worker pools) would have meant yet more.  :class:`QueryRuntime`
+replaces that ad-hoc plumbing with one object that owns the whole
+execution policy:
+
+* **backend selection** — :meth:`stop_set` dresses a stop set for its
+  configured :class:`~repro.core.config.ProximityBackend`, choosing
+  dense, gridded, or sharded execution per stop set (the
+  :class:`~repro.core.config.RuntimeConfig` ``shards`` knob, with the
+  ``AUTO`` heuristic resolving the shard count from the stop count);
+* **the coverage cache** — one :class:`~repro.engine.CoverageCache`
+  shared by every evaluation routed through the runtime;
+* **the shard store** — one :class:`~repro.engine.ShardStore`, so
+  facilities with identical or overlapping stop content share built
+  shards across queries;
+* **stats accrual** — every runtime-routed query merges its work
+  counters into :attr:`stats` (via
+  :meth:`~repro.core.stats.QueryStats.merge`), giving a service-level
+  grand total without threading a stats object through every call;
+* **the worker executor** — a lazily created thread pool that sharded
+  coverage probes fan out over (the dense numpy kernels release the
+  GIL); sized by ``RuntimeConfig.max_workers``, serial when the machine
+  or the config says so.
+
+None of this changes any answer: a runtime-routed query returns results
+bit-identical to the plain dense path, which is what
+``tests/test_runtime.py`` and ``tests/test_shards.py`` enforce.
+
+The legacy ``backend=`` / ``cache=`` keywords on the query functions are
+kept as deprecated shims that build a private runtime via
+:func:`coerce_runtime`, so existing call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.config import (
+    ProximityBackend,
+    RuntimeConfig,
+    resolve_shard_count,
+)
+from ..core.errors import QueryError
+from ..core.service import StopSet
+from ..core.stats import QueryStats
+from ..engine.cache import CoverageCache
+from ..engine.grid import AUTO_MIN_STOPS, GriddedStopSet
+from ..engine.shards import ShardedStopSet, ShardStore
+
+__all__ = ["QueryRuntime", "coerce_runtime"]
+
+#: Cap on the default thread-pool size when ``max_workers`` is ``None``.
+_DEFAULT_MAX_WORKERS = 8
+
+
+class QueryRuntime:
+    """Execution context for the query layer (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The execution policy; defaults to
+        :class:`~repro.core.config.RuntimeConfig` defaults (``AUTO``
+        backend, ``AUTO`` shard count, machine-sized worker pool).
+    backend:
+        Shorthand overriding ``config.backend`` — ``QueryRuntime(backend=
+        ProximityBackend.GRID)`` reads like the old keyword it replaces.
+    cache / stats:
+        Share a :class:`CoverageCache` / accrue into an existing
+        :class:`QueryStats` instead of owning fresh ones (e.g. several
+        runtimes reporting into one service-level total).
+
+    A runtime is also a context manager: ``with QueryRuntime() as rt:``
+    shuts the worker pool down on exit.  Without the context-manager
+    form the pool lives until :meth:`close` (or interpreter exit —
+    thread pools are daemonless but idle threads are cheap).
+    """
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        backend: Optional[ProximityBackend] = None,
+        cache: Optional[CoverageCache] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        if config is None:
+            config = RuntimeConfig()
+        if backend is not None:
+            if not isinstance(backend, ProximityBackend):
+                raise QueryError(f"unknown proximity backend: {backend!r}")
+            config = RuntimeConfig(
+                backend=backend,
+                shards=config.shards,
+                max_workers=config.max_workers,
+            )
+        self.config = config
+        self.cache = cache if cache is not None else CoverageCache()
+        self.stats = stats if stats is not None else QueryStats()
+        self.shard_store = ShardStore()
+        self._executor: Optional[Executor] = None
+        self._executor_built = False
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The shard fan-out pool, or ``None`` when execution is serial.
+
+        Built lazily on first use so runtimes created by the legacy
+        keyword shims cost nothing unless sharding actually engages; the
+        build is locked because a shared service runtime can see its
+        first two queries on different threads, and the loser's pool
+        would otherwise leak unshutdown.
+        """
+        if not self._executor_built:
+            with self._executor_lock:
+                if not self._executor_built:
+                    workers = self.config.max_workers
+                    if workers is None:
+                        workers = min(_DEFAULT_MAX_WORKERS, os.cpu_count() or 1)
+                    if workers > 1 and not self._closed:
+                        self._executor = ThreadPoolExecutor(
+                            max_workers=workers, thread_name_prefix="repro-shard"
+                        )
+                    self._executor_built = True
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down; the runtime stays usable serially."""
+        with self._executor_lock:
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+            self._executor_built = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # backend selection
+    # ------------------------------------------------------------------
+    def stop_set(
+        self, stops: Union[StopSet, np.ndarray], psi: float
+    ) -> StopSet:
+        """``stops`` dressed for this runtime's execution policy.
+
+        ``DENSE`` returns the set unchanged; ``GRID`` always
+        accelerates; ``AUTO`` only dresses stop sets large enough to win
+        (:data:`~repro.engine.grid.AUTO_MIN_STOPS`).  Accelerated sets
+        are sharded when the resolved shard count exceeds one —
+        ``config.shards`` directly, or the ``AUTO`` heuristic from the
+        stop count — and plain-gridded otherwise.  Already-dressed sets
+        pass through, so re-dressing across recursive divisions is free.
+        """
+        if not isinstance(stops, StopSet):
+            stops = StopSet(np.asarray(stops, dtype=np.float64))
+        backend = self.config.backend
+        if backend is ProximityBackend.DENSE:
+            return stops
+        if isinstance(stops, GriddedStopSet):  # includes ShardedStopSet
+            return stops
+        min_stops = 1 if backend is ProximityBackend.GRID else AUTO_MIN_STOPS
+        n = stops.n_stops
+        if n < min_stops:
+            # below the threshold the dense broadcast wins; returning the
+            # plain set (rather than a lazy wrapper) keeps tiny
+            # components zero-overhead
+            return stops
+        shards = resolve_shard_count(self.config.shards, n)
+        if shards > 1:
+            # pass the executor *getter*, not the executor: the stop set
+            # resolves it at query time, so sets dressed before close()
+            # degrade to serial probing instead of scheduling on a
+            # shut-down pool
+            return ShardedStopSet(
+                stops.coords,
+                psi,
+                self.config.shards,
+                min_stops,
+                store=self.shard_store,
+                executor=self._live_executor,
+            )
+        return GriddedStopSet(stops.coords, psi, min_stops)
+
+    def _live_executor(self) -> Optional[Executor]:
+        """The current pool, or ``None`` once closed (resolved late by
+        the sharded stop sets this runtime dresses)."""
+        return self.executor
+
+    # ------------------------------------------------------------------
+    # stats accrual
+    # ------------------------------------------------------------------
+    def accrue(self, delta: QueryStats) -> None:
+        """Merge one query's work counters into the runtime total."""
+        self.stats.merge(delta)
+
+    def reset_stats(self) -> QueryStats:
+        """Return the accrued totals and start a fresh accumulation."""
+        out = self.stats
+        self.stats = QueryStats()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryRuntime(backend={self.config.backend.value}, "
+            f"shards={self.config.shards}, cache_entries={len(self.cache)})"
+        )
+
+
+def coerce_runtime(
+    runtime: Optional[QueryRuntime],
+    backend: Optional[ProximityBackend] = None,
+    cache: Optional[CoverageCache] = None,
+) -> Optional[QueryRuntime]:
+    """Resolve the query layer's ``runtime`` / legacy keyword trio.
+
+    * ``runtime`` given — returned as-is (mixing it with the legacy
+      keywords is ambiguous and raises);
+    * legacy ``backend`` / ``cache`` given — a private runtime wrapping
+      them (with a :exc:`DeprecationWarning`), preserving the old
+      semantics exactly: ``backend=None`` meant *leave stops dense*, so
+      the shim maps it to ``DENSE``, and sharding stays off
+      (``shards=1``) because the legacy path never sharded;
+    * nothing given — ``None``: the caller keeps the plain dense path
+      with zero runtime overhead.
+    """
+    if runtime is not None:
+        if backend is not None or cache is not None:
+            raise QueryError(
+                "pass either runtime= or the legacy backend=/cache= "
+                "keywords, not both"
+            )
+        return runtime
+    if backend is None and cache is None:
+        return None
+    warnings.warn(
+        "the backend=/cache= keywords are deprecated; pass "
+        "runtime=QueryRuntime(backend=..., cache=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    config = RuntimeConfig(
+        backend=backend if backend is not None else ProximityBackend.DENSE,
+        shards=1,
+        max_workers=0,
+    )
+    return QueryRuntime(config, cache=cache)

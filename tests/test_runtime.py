@@ -1,0 +1,301 @@
+"""The QueryRuntime execution layer: one object must reproduce exactly
+what the threaded-through ``backend=`` / ``cache=`` parameters did, and
+every runtime policy (dense, gridded, sharded, fan-out) must be
+answer-invisible — ``==`` against the plain dense path throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchQueryEngine,
+    CoverageCache,
+    ProximityBackend,
+    QueryRuntime,
+    QueryStats,
+    RuntimeConfig,
+    ServiceModel,
+    ServiceSpec,
+    ShardedStopSet,
+    StopSet,
+    TQTree,
+    TQTreeConfig,
+    auto_shard_count,
+    brute_force_service,
+    evaluate_service,
+    exact_max_k_coverage,
+    genetic_max_k_coverage,
+    maxkcov_tq,
+    top_k_facilities,
+)
+from repro.core.errors import QueryError
+from repro.engine.grid import GriddedStopSet
+from repro.queries.maxkcov import tq_match_fn
+from repro.runtime import coerce_runtime
+
+from .strategies import WORLD
+
+ALL_MODELS = (ServiceModel.ENDPOINT, ServiceModel.COUNT, ServiceModel.LENGTH)
+
+
+def _runtime(backend=ProximityBackend.AUTO, shards=0, max_workers=0, **kw):
+    return QueryRuntime(
+        RuntimeConfig(backend=backend, shards=shards, max_workers=max_workers),
+        **kw,
+    )
+
+
+class TestStopSetDressing:
+    def test_dense_backend_returns_plain(self):
+        rt = _runtime(ProximityBackend.DENSE)
+        stops = StopSet(np.random.default_rng(0).uniform(0, 100, (200, 2)))
+        assert rt.stop_set(stops, 10.0) is stops
+
+    def test_auto_keeps_tiny_sets_dense(self):
+        rt = _runtime(ProximityBackend.AUTO)
+        stops = StopSet(np.random.default_rng(0).uniform(0, 100, (8, 2)))
+        dressed = rt.stop_set(stops, 10.0)
+        assert type(dressed) is StopSet
+
+    def test_grid_backend_grids_unsharded(self):
+        rt = _runtime(ProximityBackend.GRID, shards=1)
+        stops = StopSet(np.random.default_rng(0).uniform(0, 100, (8, 2)))
+        assert isinstance(rt.stop_set(stops, 10.0), GriddedStopSet)
+
+    def test_explicit_shard_count_shards(self):
+        rt = _runtime(ProximityBackend.GRID, shards=3)
+        stops = StopSet(np.random.default_rng(0).uniform(0, 100, (64, 2)))
+        dressed = rt.stop_set(stops, 10.0)
+        assert isinstance(dressed, ShardedStopSet)
+        assert dressed.shards == 3
+
+    def test_auto_shards_resolve_from_stop_count(self):
+        rt = _runtime(ProximityBackend.AUTO, shards=0)
+        small = StopSet(np.random.default_rng(0).uniform(0, 500, (200, 2)))
+        large = StopSet(np.random.default_rng(1).uniform(0, 500, (4_000, 2)))
+        assert isinstance(rt.stop_set(small, 10.0), GriddedStopSet)
+        assert isinstance(rt.stop_set(large, 10.0), ShardedStopSet)
+        assert auto_shard_count(200) == 1
+        assert auto_shard_count(4_000) >= 2
+
+    def test_already_dressed_sets_pass_through(self):
+        rt = _runtime(ProximityBackend.GRID, shards=3)
+        sharded = ShardedStopSet(np.zeros((4, 2)), 1.0)
+        gridded = GriddedStopSet(np.zeros((4, 2)), 1.0)
+        assert rt.stop_set(sharded, 1.0) is sharded
+        assert rt.stop_set(gridded, 1.0) is gridded
+
+    def test_sharded_sets_share_the_runtime_store(self):
+        rt = _runtime(ProximityBackend.GRID, shards=2)
+        coords = np.random.default_rng(2).uniform(0, 500, (128, 2))
+        a = rt.stop_set(StopSet(coords), 10.0)
+        b = rt.stop_set(StopSet(coords.copy()), 10.0)
+        probe = np.random.default_rng(3).uniform(0, 500, (64, 2))
+        np.testing.assert_array_equal(
+            a.covered_mask(probe, 10.0), b.covered_mask(probe, 10.0)
+        )
+        assert rt.shard_store.grid_hits >= 1
+
+
+class TestRuntimeRoutedQueries:
+    """Every query algorithm routed through a runtime must equal the
+    plain dense path exactly, for every policy."""
+
+    POLICIES = (
+        RuntimeConfig(backend=ProximityBackend.DENSE),
+        RuntimeConfig(backend=ProximityBackend.GRID, shards=1, max_workers=0),
+        RuntimeConfig(backend=ProximityBackend.GRID, shards=2, max_workers=0),
+        RuntimeConfig(backend=ProximityBackend.GRID, shards=7, max_workers=2),
+        RuntimeConfig(backend=ProximityBackend.AUTO),
+    )
+
+    def test_evaluate_service_identical(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        for model in ALL_MODELS:
+            spec = ServiceSpec(model, psi=400.0)
+            for f in facilities[:6]:
+                plain = evaluate_service(tree, f, spec)
+                oracle = brute_force_service(taxi_users, f, spec)
+                assert plain == oracle
+                for config in self.POLICIES:
+                    with QueryRuntime(config) as rt:
+                        assert evaluate_service(tree, f, spec, runtime=rt) == plain
+
+    def test_topk_and_maxkcov_identical(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+        plain_topk = top_k_facilities(tree, facilities, 4, spec)
+        plain_cov = maxkcov_tq(tree, facilities, 3, spec)
+        for config in self.POLICIES:
+            with QueryRuntime(config) as rt:
+                fast_topk = top_k_facilities(tree, facilities, 4, spec, runtime=rt)
+                fast_cov = maxkcov_tq(tree, facilities, 3, spec, runtime=rt)
+            assert fast_topk.ranking == plain_topk.ranking
+            assert fast_cov.facility_ids() == plain_cov.facility_ids()
+            assert fast_cov.combined_service == plain_cov.combined_service
+            assert fast_cov.users_fully_served == plain_cov.users_fully_served
+
+    def test_exact_and_genetic_share_runtime_cache(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+        subset = facilities[:5]
+        plain_fn = tq_match_fn(tree, spec)
+        plain_exact = exact_max_k_coverage(taxi_users, subset, 2, spec, plain_fn)
+        plain_gen = genetic_max_k_coverage(taxi_users, subset, 2, spec, plain_fn)
+        with _runtime(ProximityBackend.GRID, shards=2) as rt:
+            fn = tq_match_fn(tree, spec, runtime=rt)
+            fast_exact = exact_max_k_coverage(
+                taxi_users, subset, 2, spec, fn, runtime=rt
+            )
+            fast_gen = genetic_max_k_coverage(
+                taxi_users, subset, 2, spec, fn, runtime=rt
+            )
+            assert fast_exact.combined_service == plain_exact.combined_service
+            assert fast_exact.facility_ids() == plain_exact.facility_ids()
+            assert fast_gen.combined_service == plain_gen.combined_service
+            assert fast_gen.facility_ids() == plain_gen.facility_ids()
+            # the genetic run reused the exact run's match sets
+            assert rt.cache.hits > 0
+
+    def test_batch_engine_runtime_identical(self, taxi_users, facilities):
+        spec_grid = [
+            (f, ServiceSpec(model, psi=400.0))
+            for f in facilities[:4]
+            for model in ALL_MODELS
+        ]
+        plain = BatchQueryEngine(taxi_users).run(spec_grid)
+        for config in self.POLICIES:
+            with QueryRuntime(config) as rt:
+                engine = BatchQueryEngine(taxi_users, runtime=rt)
+                got = engine.run(spec_grid)
+            assert got.scores == plain.scores
+
+
+class TestStatsAccrual:
+    def test_evaluate_accrues_into_runtime_total(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.COUNT, psi=400.0)
+        rt = _runtime(ProximityBackend.GRID, shards=2)
+        explicit = QueryStats()
+        evaluate_service(tree, facilities[0], spec, stats=explicit, runtime=rt)
+        assert rt.stats == explicit  # same single evaluation, both views
+        assert rt.stats.nodes_visited > 0
+        evaluate_service(tree, facilities[1], spec, runtime=rt)
+        assert rt.stats.nodes_visited > explicit.nodes_visited  # keeps growing
+
+    def test_topk_result_stats_match_runtime_delta(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+        rt = _runtime(ProximityBackend.GRID)
+        result = top_k_facilities(tree, facilities, 3, spec, runtime=rt)
+        assert rt.stats == result.stats
+        total = rt.reset_stats()
+        assert total == result.stats
+        assert rt.stats == QueryStats()
+
+    def test_batch_engine_accrues(self, taxi_users, facilities):
+        rt = _runtime(ProximityBackend.GRID)
+        engine = BatchQueryEngine(taxi_users, runtime=rt)
+        spec = ServiceSpec(ServiceModel.COUNT, psi=400.0)
+        result = engine.run([(f, spec) for f in facilities[:3]])
+        assert rt.stats == result.stats
+
+    def test_per_shard_stats_merge_matches_unsharded_totals(
+        self, taxi_users, facilities
+    ):
+        """A sharded runtime run accrues exactly the totals an unsharded
+        grid runtime accrues for the same queries."""
+        spec = ServiceSpec(ServiceModel.COUNT, psi=400.0)
+        requests = [(f, spec) for f in facilities[:6]]
+        rt_grid = _runtime(ProximityBackend.GRID, shards=1)
+        rt_sharded = _runtime(ProximityBackend.GRID, shards=7)
+        grid_result = BatchQueryEngine(taxi_users, runtime=rt_grid).run(requests)
+        shard_result = BatchQueryEngine(taxi_users, runtime=rt_sharded).run(requests)
+        assert grid_result.scores == shard_result.scores
+        assert rt_sharded.stats == rt_grid.stats
+
+
+class TestLegacyShims:
+    def test_backend_cache_keywords_warn_and_match(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+        plain = evaluate_service(tree, facilities[0], spec)
+        cache = CoverageCache()
+        with pytest.warns(DeprecationWarning):
+            legacy = evaluate_service(
+                tree, facilities[0], spec,
+                backend=ProximityBackend.GRID, cache=cache,
+            )
+        assert legacy == plain
+        assert len(cache) > 0  # the legacy cache object really was used
+
+    def test_runtime_plus_legacy_keywords_rejected(self, taxi_users, facilities):
+        tree = TQTree.build(taxi_users, TQTreeConfig(beta=16))
+        spec = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+        rt = _runtime()
+        with pytest.raises(QueryError):
+            evaluate_service(
+                tree, facilities[0], spec,
+                backend=ProximityBackend.GRID, runtime=rt,
+            )
+
+    def test_coerce_none_is_none(self):
+        assert coerce_runtime(None, None, None) is None
+
+    def test_legacy_backend_none_with_cache_stays_dense(self):
+        with pytest.warns(DeprecationWarning):
+            rt = coerce_runtime(None, None, CoverageCache())
+        stops = StopSet(np.random.default_rng(0).uniform(0, 100, (200, 2)))
+        assert rt.stop_set(stops, 10.0) is stops  # old backend=None semantics
+
+
+class TestRuntimeLifecycle:
+    def test_config_validation(self):
+        with pytest.raises(QueryError):
+            RuntimeConfig(backend="grid")  # not a ProximityBackend
+        with pytest.raises(QueryError):
+            RuntimeConfig(shards=-1)
+        with pytest.raises(QueryError):
+            RuntimeConfig(max_workers=-2)
+        with pytest.raises(QueryError):
+            QueryRuntime(backend="grid")
+
+    def test_executor_lifecycle(self):
+        rt = QueryRuntime(RuntimeConfig(max_workers=2))
+        assert rt.executor is not None
+        rt.close()
+        assert rt.executor is None  # closed runtimes stay serial
+        serial = QueryRuntime(RuntimeConfig(max_workers=0))
+        assert serial.executor is None
+
+    def test_stop_sets_survive_runtime_close(self):
+        """A stop set dressed before close() must degrade to serial
+        probing, not schedule on the shut-down pool."""
+        rng = np.random.default_rng(23)
+        coords = rng.uniform(0, 500, (128, 2))
+        probe = rng.uniform(0, 500, (64, 2))
+        rt = QueryRuntime(
+            RuntimeConfig(backend=ProximityBackend.GRID, shards=4, max_workers=2)
+        )
+        dressed = rt.stop_set(StopSet(coords), 10.0)
+        before = dressed.covered_mask(probe, 10.0)
+        rt.close()
+        after = dressed.covered_mask(probe, 10.0)  # must not raise
+        np.testing.assert_array_equal(before, after)
+
+    def test_batch_engine_rejects_runtime_plus_legacy_keywords(self, taxi_users):
+        rt = _runtime()
+        with pytest.raises(QueryError):
+            BatchQueryEngine(taxi_users, backend=ProximityBackend.GRID, runtime=rt)
+        with pytest.raises(QueryError):
+            BatchQueryEngine(taxi_users, cache=CoverageCache(), runtime=rt)
+
+    def test_shared_stats_object(self):
+        shared = QueryStats()
+        rt_a = _runtime(stats=shared)
+        rt_b = _runtime(stats=shared)
+        rt_a.accrue(QueryStats(points_scanned=3))
+        rt_b.accrue(QueryStats(points_scanned=4))
+        assert shared.points_scanned == 7

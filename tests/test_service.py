@@ -221,6 +221,43 @@ class TestCoverageState:
         assert state.value == 1.0
         assert clone.value == 2.0
 
+    def test_copy_isolates_covered_sets_both_directions(self):
+        """The clone must not share per-user index sets with the
+        original: mutations on either side stay invisible to the other
+        (the branch-and-bound search relies on this)."""
+        state = CoverageState(self._users(), spec(ServiceModel.COUNT, normalize=False))
+        state.add({0: (0,), 1: (0,)})
+        clone = state.copy()
+        clone.add({0: (1,)})  # touches a set the original also holds
+        assert state.covered_indices(0) == frozenset({0})
+        assert clone.covered_indices(0) == frozenset({0, 1})
+        state.add({1: (1,)})  # and the other way round
+        assert clone.covered_indices(1) == frozenset({0})
+        assert state.covered_indices(1) == frozenset({0, 1})
+        assert state.value == 3.0
+        assert clone.value == 3.0
+
+    def test_new_coverage_count_on_overlapping_matches(self):
+        """Only genuinely new (user, point) slots count; slots already
+        covered — the overlap — contribute nothing."""
+        users = self._users()
+        state = CoverageState(users, spec(ServiceModel.COUNT, normalize=False))
+        assert state.new_coverage_count({0: (0,), 1: (0, 1)}) == 3  # untouched users
+        state.add({0: (0,), 1: (0,)})
+        # user 0: index 0 already covered, index 1 new; user 1: both old
+        assert state.new_coverage_count({0: (0, 1), 1: (0,)}) == 1
+        assert state.new_coverage_count({0: (0,), 1: (0,)}) == 0
+        # duplicated indices in the candidate count once
+        assert state.new_coverage_count({0: (1, 1, 1)}) == 1
+        # pricing must not mutate the state
+        assert state.covered_indices(0) == frozenset({0})
+        assert state.value == 2.0
+
+    def test_new_coverage_count_unknown_user_rejected(self):
+        state = CoverageState(self._users(), spec(ServiceModel.COUNT))
+        with pytest.raises(QueryError):
+            state.new_coverage_count({99: (0,)})
+
     def test_length_coverage_combines_segments(self):
         u = Trajectory(0, [(0, 0), (60, 0)])
         state = CoverageState([u], spec(ServiceModel.LENGTH, psi=5.0, normalize=False))

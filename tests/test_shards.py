@@ -1,0 +1,309 @@
+"""Differential tests: the sharded grid must be *bit-identical* to the
+dense ``core.service`` oracle, for every shard count.
+
+Sharding is pure scheduling — each shard applies the same ``psi_hit``
+kernel to a disjoint slice of grid cells and the mask union is
+order-independent — so every comparison here is ``==`` / ``array_equal``,
+never ``approx``.  The suite drives shard counts {1, 2, 7} across
+Hypothesis-generated adversarial inputs (ties at exactly ``psi``, zero
+radii, world-spanning radii), plus the structural edge cases: empty
+shards (stops concentrated in fewer cells than shards) and stops
+straddling shard boundaries.  Work accounting is held to the same
+standard: per-shard ``QueryStats`` merged via ``QueryStats.merge`` must
+equal an unsharded ``StopGrid`` run exactly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    QueryStats,
+    ShardedStopGrid,
+    ShardedStopSet,
+    ShardStore,
+    StopGrid,
+    StopSet,
+)
+from repro.core.errors import QueryError
+
+from .strategies import WORLD, dense_facilities, engine_psis, trajectory_sets
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def _probe_block(users) -> np.ndarray:
+    return np.concatenate([u.coords for u in users])
+
+
+class TestShardedMaskOracle:
+    """ShardedStopGrid / ShardedStopSet masks vs the dense broadcast."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=12, min_points=1, max_points=6),
+        dense_facilities(min_stops=16, max_stops=96),
+        engine_psis(),
+    )
+    def test_masks_bit_identical_all_shard_counts(self, users, facility, psi):
+        dense = StopSet.of_facility(facility)
+        block = _probe_block(users)
+        expected = dense.covered_mask(block, psi)
+        for n_shards in SHARD_COUNTS:
+            grid = ShardedStopGrid(facility.stop_coords, psi, n_shards)
+            assert np.array_equal(expected, grid.covered_mask(block, psi))
+            sset = ShardedStopSet(facility.stop_coords, psi, n_shards)
+            assert np.array_equal(expected, sset.covered_mask(block, psi))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=6, min_points=1, max_points=4),
+        dense_facilities(min_stops=16, max_stops=64),
+        engine_psis(),
+    )
+    def test_covers_point_bit_identical(self, users, facility, psi):
+        dense = StopSet.of_facility(facility)
+        grid = ShardedStopGrid(facility.stop_coords, psi, 2)
+        for u in users:
+            for p in u.points:
+                assert grid.covers_point(p, psi) == dense.covers_point(p, psi)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=10, min_points=1, max_points=6),
+        dense_facilities(min_stops=16, max_stops=96),
+        engine_psis(),
+    )
+    def test_merged_stats_equal_unsharded_run(self, users, facility, psi):
+        """Per-shard QueryStats merge to exactly the StopGrid totals."""
+        block = _probe_block(users)
+        unsharded = QueryStats()
+        reference = StopGrid(facility.stop_coords, psi)
+        ref_mask = reference.covered_mask(block, psi, unsharded)
+        for n_shards in SHARD_COUNTS:
+            merged = QueryStats()
+            grid = ShardedStopGrid(facility.stop_coords, psi, n_shards)
+            mask = grid.covered_mask(block, psi, merged)
+            assert np.array_equal(ref_mask, mask)
+            assert merged.points_scanned == unsharded.points_scanned
+            assert merged.distance_evals == unsharded.distance_evals
+            assert merged.cells_probed == unsharded.cells_probed
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trajectory_sets(min_size=1, max_size=8, min_points=2, max_points=5),
+        dense_facilities(min_stops=24, max_stops=96),
+        engine_psis(),
+    )
+    def test_executor_fanout_identical_to_serial(self, users, facility, psi):
+        block = _probe_block(users)
+        grid = ShardedStopGrid(facility.stop_coords, psi, 7)
+        serial_stats = QueryStats()
+        serial = grid.covered_mask(block, psi, serial_stats)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            pooled_stats = QueryStats()
+            pooled = grid.covered_mask(block, psi, pooled_stats, executor=pool)
+        assert np.array_equal(serial, pooled)
+        assert pooled_stats == serial_stats
+
+    @settings(max_examples=25, deadline=None)
+    @given(dense_facilities(min_stops=16, max_stops=96), engine_psis())
+    def test_restriction_preserves_sharding_and_results(self, facility, psi):
+        dense = StopSet.of_facility(facility)
+        sharded = ShardedStopSet(facility.stop_coords, psi, 2)
+        box = WORLD.quadrant(1).expanded(psi)
+        d_sub = dense.restricted_to(box)
+        s_sub = sharded.restricted_to(box)
+        assert isinstance(s_sub, ShardedStopSet)
+        assert np.array_equal(d_sub.coords, s_sub.coords)
+        probe = np.array([[p, 1024.0 - p] for p in np.linspace(0.0, 1024.0, 41)])
+        assert np.array_equal(
+            d_sub.covered_mask(probe, psi), s_sub.covered_mask(probe, psi)
+        )
+
+
+class TestShardEdgeCases:
+    def test_empty_shards_from_concentrated_stops(self):
+        """All stops in one cell with 7 shards: six shards are empty and
+        the answer is still exact."""
+        stops = np.full((24, 2), 37.25)
+        grid = ShardedStopGrid(stops, 1.0, 7)
+        assert grid.n_shards == 7
+        assert sum(1 for s in grid.shards if s.n_stops == 0) == 6
+        probe = np.array([[37.25, 37.25], [38.25, 37.25], [38.3, 37.25], [0.0, 0.0]])
+        expected = StopSet(stops).covered_mask(probe, 1.0)
+        assert np.array_equal(expected, grid.covered_mask(probe, 1.0))
+        assert expected.tolist() == [True, True, False, False]
+
+    def test_probe_straddling_shard_boundary(self):
+        """A probe point whose 3x3 neighbourhood spans two shards must
+        union candidates from both."""
+        # two stop clusters in adjacent cell columns; 2 shards cut between
+        stops = np.array(
+            [[x, 5.0] for x in (0.5, 1.5, 2.5, 3.5)]
+            + [[x, 5.0] for x in (6.5, 7.5, 8.5, 9.5)]
+        )
+        grid = ShardedStopGrid(stops, 1.0, 2, cell_size=5.0)
+        lows = {int(s.key_lo) for s in grid.shards if s.n_stops}
+        assert len(lows) == 2  # genuinely two populated shards
+        # point between the clusters: within psi of a stop in each shard
+        probe = np.array([[4.3, 5.0], [5.7, 5.0], [5.0, 5.0]])
+        expected = StopSet(stops).covered_mask(probe, 1.0)
+        assert np.array_equal(expected, grid.covered_mask(probe, 1.0))
+        assert expected.tolist() == [True, True, False]
+        # each boundary point's serving stop lives in a different shard
+        only_lo = ShardedStopGrid(stops[:4], 1.0, 1, cell_size=5.0)
+        only_hi = ShardedStopGrid(stops[4:], 1.0, 1, cell_size=5.0)
+        assert only_lo.covered_mask(probe, 1.0).tolist() == [True, False, False]
+        assert only_hi.covered_mask(probe, 1.0).tolist() == [False, True, False]
+
+    def test_stop_cells_never_straddle_shards(self):
+        rng = np.random.default_rng(7)
+        stops = np.round(rng.uniform(0, 200, size=(300, 2)))
+        grid = ShardedStopGrid(stops, 3.0, 7)
+        seen = set()
+        last_hi = None
+        for shard in grid.shards:
+            if not shard.n_stops:
+                continue
+            keys = set(int(k) for k in shard.keys)
+            assert not keys & seen  # no cell in two shards
+            seen |= keys
+            if last_hi is not None:
+                assert int(shard.key_lo) > last_hi
+            last_hi = int(shard.key_hi)
+        assert sum(s.n_stops for s in grid.shards) == 300
+
+    def test_oversized_radius_falls_back_dense(self):
+        rng = np.random.default_rng(3)
+        stops = rng.uniform(0, 100, size=(64, 2))
+        probe = rng.uniform(-10, 110, size=(40, 2))
+        grid = ShardedStopGrid(stops, 1.0, 2)
+        big = 10.0 * grid.cell_size
+        stats = QueryStats()
+        mask = grid.covered_mask(probe, big, stats)
+        assert np.array_equal(StopSet(stops).covered_mask(probe, big), mask)
+        # dense fallback: all-pairs accounting
+        assert stats.distance_evals == 40 * 64
+        assert stats.cells_probed == 0
+
+    def test_empty_inputs(self):
+        empty_grid = ShardedStopGrid(np.zeros((0, 2)), 1.0, 3)
+        assert empty_grid.is_empty
+        probe = np.array([[1.0, 2.0]])
+        assert empty_grid.covered_mask(probe, 1.0).tolist() == [False]
+        grid = ShardedStopGrid(np.array([[1.0, 1.0]]), 1.0, 2)
+        assert grid.covered_mask(np.zeros((0, 2)), 1.0).size == 0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(QueryError):
+            ShardedStopGrid(np.zeros((3, 3)), 1.0)
+        with pytest.raises(QueryError):
+            ShardedStopGrid(np.zeros((3, 2)), -1.0)
+        with pytest.raises(QueryError):
+            ShardedStopGrid(np.zeros((3, 2)), 1.0, -2)
+        with pytest.raises(QueryError):
+            ShardedStopSet(np.zeros((3, 2)), 1.0, shards=-1)
+        with pytest.raises(QueryError):
+            # manual cell_size creating more rows than the key stride:
+            # row keys would alias, breaking stats parity
+            ShardedStopGrid(
+                np.array([[0.0, 0.0], [0.0, 3.0e6]]), 1.0, 1, cell_size=1.01
+            )
+
+
+class TestShardStore:
+    def test_identical_stop_sets_share_one_build(self):
+        rng = np.random.default_rng(11)
+        coords = rng.uniform(0, 500, size=(128, 2))
+        store = ShardStore()
+        g1 = store.sharded_grid(coords, 10.0, 4)
+        g2 = store.sharded_grid(coords.copy(), 10.0, 4)
+        assert g1 is g2
+        assert store.grid_hits == 1 and store.grid_misses == 1
+
+    def test_overlapping_stop_sets_share_shards(self):
+        """A superset facility reuses the subset's built shard: the
+        shared region sorts into a content-identical slice."""
+        rng = np.random.default_rng(13)
+        base = rng.uniform(0, 100, size=(80, 2))
+        extras = rng.uniform(5_000, 6_000, size=(80, 2))
+        superset = np.vstack([base, extras])
+        store = ShardStore()
+        g_base = store.sharded_grid(base, 5.0, 1)
+        assert store.shard_hits == 0
+        g_super = store.sharded_grid(superset, 5.0, 2)
+        # the superset's lower slice is exactly the base set's shard
+        assert store.shard_hits >= 1
+        assert any(
+            s is g_base.shards[0] for s in g_super.shards
+        ), "expected the built shard object itself to be shared"
+        # and answers stay exact for both
+        probe = rng.uniform(0, 6_000, size=(200, 2))
+        assert np.array_equal(
+            StopSet(superset).covered_mask(probe, 5.0),
+            g_super.covered_mask(probe, 5.0),
+        )
+
+    def test_different_content_never_aliases(self):
+        rng = np.random.default_rng(17)
+        a = rng.uniform(0, 100, size=(64, 2))
+        b = a.copy()
+        b[0, 0] += 0.5  # one stop nudged: different content
+        store = ShardStore()
+        ga = store.sharded_grid(a, 5.0, 2)
+        gb = store.sharded_grid(b, 5.0, 2)
+        assert ga is not gb
+        probe = rng.uniform(0, 100, size=(100, 2))
+        assert np.array_equal(
+            StopSet(a).covered_mask(probe, 5.0), ga.covered_mask(probe, 5.0)
+        )
+        assert np.array_equal(
+            StopSet(b).covered_mask(probe, 5.0), gb.covered_mask(probe, 5.0)
+        )
+
+    def test_store_retention_is_bounded(self):
+        """Past the caps the oldest builds are evicted — a long-lived
+        store's memory stays flat — and evicted content simply rebuilds
+        with the same (exact) answers."""
+        rng = np.random.default_rng(29)
+        store = ShardStore(max_grids=3, max_shards=6)
+        sets = [rng.uniform(0, 300, size=(48, 2)) for _ in range(8)]
+        for coords in sets:
+            store.sharded_grid(coords, 5.0, 2)
+        assert len(store._grids) <= 3
+        assert len(store._shards) <= 6
+        probe = rng.uniform(0, 300, size=(60, 2))
+        evicted = store.sharded_grid(sets[0], 5.0, 2)  # rebuild, not a hit
+        assert np.array_equal(
+            StopSet(sets[0]).covered_mask(probe, 5.0),
+            evicted.covered_mask(probe, 5.0),
+        )
+
+    def test_sharded_stop_set_builds_through_store(self):
+        rng = np.random.default_rng(19)
+        coords = rng.uniform(0, 500, size=(96, 2))
+        store = ShardStore()
+        s1 = ShardedStopSet(coords, 10.0, 3, store=store)
+        s2 = ShardedStopSet(coords.copy(), 10.0, 3, store=store)
+        probe = rng.uniform(0, 500, size=(50, 2))
+        m1 = s1.covered_mask(probe, 10.0)
+        m2 = s2.covered_mask(probe, 10.0)
+        assert np.array_equal(m1, m2)
+        assert store.grid_hits >= 1  # the second set reused the build
+
+
+@pytest.mark.engine_smoke
+def test_sharded_smoke(taxi_users, facilities):
+    """Fast sharded-vs-oracle smoke check (runs in the default suite)."""
+    block = np.concatenate([u.coords for u in taxi_users[:100]])
+    for f in facilities[:3]:
+        dense = StopSet.of_facility(f)
+        expected = dense.covered_mask(block, 400.0)
+        for n_shards in SHARD_COUNTS:
+            grid = ShardedStopGrid(f.stop_coords, 400.0, n_shards)
+            assert np.array_equal(expected, grid.covered_mask(block, 400.0))
