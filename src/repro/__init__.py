@@ -35,6 +35,7 @@ Quickstart::
 from .core import (
     BBox,
     CoverageState,
+    ExecutionPolicy,
     FacilityRoute,
     IndexVariant,
     Point,
@@ -128,6 +129,7 @@ __all__ = [
     "CoverageState",
     "IndexVariant",
     "ProximityBackend",
+    "ExecutionPolicy",
     "QueryStats",
     "TQTreeConfig",
     # proximity engine

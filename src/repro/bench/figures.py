@@ -5,8 +5,26 @@ scaled default sizes (see :mod:`repro.bench.harness`) and returns a
 :class:`Figure` whose series mirror the lines of the paper's plot.  The
 module is runnable::
 
-    python -m repro.bench.figures            # everything (minutes)
+    python -m repro.bench.figures              # everything (minutes)
     python -m repro.bench.figures fig6a fig7b  # a subset
+
+Every TQ-path experiment is built on the :class:`~repro.runtime.
+QueryRuntime` execution layer, so the Figure 6–9 sweeps (and the
+MaxkCovRST experiments that stack on them) can be re-run under any
+execution policy and shard count with the ``--runtime`` flag::
+
+    python -m repro.bench.figures fig6a --runtime processes:7:4
+    python -m repro.bench.figures fig7c --runtime threads:auto
+    python -m repro.bench.figures --runtime serial:1
+
+The spec is ``POLICY[:SHARDS[:WORKERS]]`` (see
+:func:`~repro.bench.harness.parse_runtime_spec`); without the flag the
+sweeps run the legacy plain-dense path, which is what the paper's
+competitors used.  Each timed competitor gets a *fresh* runtime and its
+coverage cache is cleared between timed passes, so the numbers measure
+geometric work under the chosen policy, not cache replay; answers are
+policy-invariant by construction (the differential suites hold every
+policy to ``==``).
 
 The output of a full run is what EXPERIMENTS.md records next to the
 paper's reported behaviour.
@@ -14,6 +32,8 @@ paper's reported behaviour.
 
 from __future__ import annotations
 
+import argparse
+import contextlib
 import sys
 import time
 from dataclasses import dataclass, field
@@ -33,9 +53,52 @@ from ..queries.maxkcov import (
 )
 from ..datasets.summaries import summarize_facilities, summarize_users
 from ..index.builder import build_tq_basic, build_tq_zorder
-from .harness import DEFAULTS, PAPER_PARAMETERS, Timer, WorkloadFactory
+from .harness import (
+    DEFAULTS,
+    PAPER_PARAMETERS,
+    Timer,
+    WorkloadFactory,
+    parse_runtime_spec,
+)
 
 __all__ = ["Figure", "Series", "ALL_FIGURES", "run_figure", "render", "main"]
+
+
+def _sweep_runtime(factory: WorkloadFactory):
+    """Context manager: the sweep leg's runtime (or ``None``), closed on
+    exit — the processes policy holds a pool and shared-memory segments
+    that must not outlive the measurement."""
+    rt = factory.query_runtime()
+    return contextlib.closing(rt) if rt is not None else contextlib.nullcontext()
+
+
+def _best_of(factory, make_fn, repeats: int) -> float:
+    """The timing scaffold every competitor-time helper shares.
+
+    ``make_fn(rt)`` builds the zero-arg measured pass given the sweep
+    leg's runtime (``None`` on the legacy path).  One untimed warm pass
+    absorbs lazy construction (caches, and under a ``--runtime``
+    configuration the grids/shards in the runtime's store); the
+    coverage cache is cleared before *every* pass so runtime-routed
+    legs re-measure the geometric work instead of replaying memoised
+    masks; the best of ``repeats`` timed passes suppresses scheduler
+    noise.
+    """
+    with _sweep_runtime(factory) as rt:
+        fn = make_fn(rt)
+
+        def one_pass():
+            if rt is not None:
+                rt.cache.clear()
+            fn()
+
+        one_pass()  # warm
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            with Timer() as t:
+                one_pass()
+            best = min(best, t.seconds)
+    return best
 
 
 @dataclass
@@ -101,26 +164,18 @@ def render(figure: Figure) -> str:
 def _service_value_time(
     factory, users, method: str, facilities, spec, repeats: int = 3
 ) -> float:
-    """Mean per-facility service-value time for one competitor.
+    """Mean per-facility service-value time for one competitor."""
 
-    One untimed warm pass absorbs lazy cache construction; the best of
-    ``repeats`` timed passes suppresses scheduler noise.
-    """
-    if method == "BL":
-        index = factory.baseline(users)
-        fn = lambda f: index.service_value(f, spec)  # noqa: E731
-    else:
+    def make_fn(rt):
+        if method == "BL":
+            index = factory.baseline(users)
+            return lambda: [index.service_value(f, spec) for f in facilities]
         tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
-        fn = lambda f: evaluate_service(tree, f, spec)  # noqa: E731
-    for f in facilities:  # warm pass
-        fn(f)
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        with Timer() as t:
-            for f in facilities:
-                fn(f)
-        best = min(best, t.seconds)
-    return best / len(facilities)
+        return lambda: [
+            evaluate_service(tree, f, spec, runtime=rt) for f in facilities
+        ]
+
+    return _best_of(factory, make_fn, repeats) / len(facilities)
 
 
 def fig6a(factory: WorkloadFactory) -> Figure:
@@ -180,19 +235,14 @@ def bench_psi(factory: WorkloadFactory) -> Figure:
 # Section VI-B(2): processing kMaxRRST (NYT-like)
 # ----------------------------------------------------------------------
 def _topk_time(factory, users, method, facilities, k, spec, repeats: int = 2) -> float:
-    if method == "BL":
-        index = factory.baseline(users)
-        fn = lambda: index.top_k(facilities, k, spec)  # noqa: E731
-    else:
+    def make_fn(rt):
+        if method == "BL":
+            index = factory.baseline(users)
+            return lambda: index.top_k(facilities, k, spec)
         tree = factory.tq_tree(users, use_zorder=(method == "TQ(Z)"))
-        fn = lambda: top_k_facilities(tree, facilities, k, spec)  # noqa: E731
-    fn()  # warm pass (lazy caches)
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        with Timer() as t:
-            fn()
-        best = min(best, t.seconds)
-    return best
+        return lambda: top_k_facilities(tree, facilities, k, spec, runtime=rt)
+
+    return _best_of(factory, make_fn, repeats)
 
 
 def fig7a(factory: WorkloadFactory) -> Figure:
@@ -277,22 +327,18 @@ def _multipoint_methods(factory, users):
 
 def _multipoint_topk_time(factory, users, method_key, facilities, spec) -> float:
     kind, params = method_key
-    if kind == "bl":
-        index = factory.baseline(users)
-        fn = lambda: index.top_k(facilities, DEFAULTS.k, spec)  # noqa: E731
-    else:
+
+    def make_fn(rt):
+        if kind == "bl":
+            index = factory.baseline(users)
+            return lambda: index.top_k(facilities, DEFAULTS.k, spec)
         variant, use_z = params
         tree = factory.tq_tree(users, use_zorder=use_z, variant=variant)
-        fn = lambda: top_k_facilities(  # noqa: E731
-            tree, facilities, DEFAULTS.k, spec
+        return lambda: top_k_facilities(
+            tree, facilities, DEFAULTS.k, spec, runtime=rt
         )
-    fn()  # warm pass
-    best = float("inf")
-    for _ in range(2):
-        with Timer() as t:
-            fn()
-        best = min(best, t.seconds)
-    return best
+
+    return _best_of(factory, make_fn, 2)
 
 
 def fig8a(factory: WorkloadFactory) -> Figure:
@@ -375,20 +421,26 @@ def fig9b(factory: WorkloadFactory) -> Figure:
 # Section VI-B(4): MaxkCovRST
 # ----------------------------------------------------------------------
 def _maxkcov_run(factory, users, method, facilities, k, spec):
-    if method == "G(BL)":
-        index = factory.baseline(users)
-        fn = lambda: maxkcov_baseline(index, users, facilities, k, spec)  # noqa: E731
-    elif method == "Gn-TQ(Z)":
-        tree = factory.tq_tree(users, use_zorder=True)
-        match = tq_match_fn(tree, spec)
-        fn = lambda: genetic_max_k_coverage(  # noqa: E731
-            users, facilities, k, spec, match, GeneticConfig(seed=7)
-        )
-    else:
-        tree = factory.tq_tree(users, use_zorder=(method == "G-TQ(Z)"))
-        fn = lambda: maxkcov_tq(tree, facilities, k, spec)  # noqa: E731
-    with Timer() as t:
-        result = fn()
+    with _sweep_runtime(factory) as rt:
+        if method == "G(BL)":
+            index = factory.baseline(users)
+            fn = lambda: maxkcov_baseline(  # noqa: E731
+                index, users, facilities, k, spec
+            )
+        elif method == "Gn-TQ(Z)":
+            tree = factory.tq_tree(users, use_zorder=True)
+            match = tq_match_fn(tree, spec, runtime=rt)
+            fn = lambda: genetic_max_k_coverage(  # noqa: E731
+                users, facilities, k, spec, match, GeneticConfig(seed=7),
+                runtime=rt,
+            )
+        else:
+            tree = factory.tq_tree(users, use_zorder=(method == "G-TQ(Z)"))
+            fn = lambda: maxkcov_tq(  # noqa: E731
+                tree, facilities, k, spec, runtime=rt
+            )
+        with Timer() as t:
+            result = fn()
     return result, t.seconds
 
 
@@ -455,13 +507,17 @@ def fig11(factory: WorkloadFactory) -> Tuple[Figure, Figure]:
     spec = factory.spec()
 
     def ratios(users, facilities):
-        tree = factory.tq_tree(users, use_zorder=True)
-        match = tq_match_fn(tree, spec)
-        greedy = greedy_max_k_coverage(users, facilities, k, spec, match)
-        ga = genetic_max_k_coverage(
-            users, facilities, k, spec, match, GeneticConfig(seed=7)
-        )
-        exact = exact_max_k_coverage(users, facilities, k, spec, match)
+        with _sweep_runtime(factory) as rt:
+            tree = factory.tq_tree(users, use_zorder=True)
+            match = tq_match_fn(tree, spec, runtime=rt)
+            greedy = greedy_max_k_coverage(users, facilities, k, spec, match)
+            ga = genetic_max_k_coverage(
+                users, facilities, k, spec, match, GeneticConfig(seed=7),
+                runtime=rt,
+            )
+            exact = exact_max_k_coverage(
+                users, facilities, k, spec, match, runtime=rt
+            )
         return (
             approximation_ratio(greedy, exact),
             approximation_ratio(ga, exact),
@@ -521,8 +577,9 @@ def ablation_pruning(factory: WorkloadFactory) -> Figure:
         for use_z, name in ((False, "TQ(B)"), (True, "TQ(Z)")):
             tree = factory.tq_tree(users, use_zorder=use_z)
             stats = QueryStats()
-            for f in probe:
-                evaluate_service(tree, f, spec, stats=stats)
+            with _sweep_runtime(factory) as rt:
+                for f in probe:
+                    evaluate_service(tree, f, spec, stats=stats, runtime=rt)
             fig.series_named(name).add(days, stats.entries_scored / len(probe))
         fig.series_named("stored entries").add(days, float(len(users)))
     return fig
@@ -541,11 +598,14 @@ def ablation_beta(factory: WorkloadFactory) -> Figure:
     for beta in (16, 32, 64, 128, 256):
         tree = build_tq_zorder(users, beta=beta, space=factory.city.bounds)
         tree.warm_zindex()
-        for f in probe:  # warm
-            evaluate_service(tree, f, spec)
-        with Timer() as t:
-            for f in probe:
-                evaluate_service(tree, f, spec)
+        with _sweep_runtime(factory) as rt:
+            for f in probe:  # warm
+                evaluate_service(tree, f, spec, runtime=rt)
+            if rt is not None:
+                rt.cache.clear()
+            with Timer() as t:
+                for f in probe:
+                    evaluate_service(tree, f, spec, runtime=rt)
         fig.series_named("TQ(Z)").add(beta, t.seconds / len(probe))
     return fig
 
@@ -635,8 +695,33 @@ def run_figure(name: str, factory: Optional[WorkloadFactory] = None) -> List[Fig
 
 
 def main(argv: Sequence[str] = ()) -> int:
-    names = list(argv) or list(ALL_FIGURES)
-    factory = WorkloadFactory()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.figures",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIG",
+        help=f"subset to run (default: all of {', '.join(ALL_FIGURES)})",
+    )
+    parser.add_argument(
+        "--runtime",
+        metavar="POLICY[:SHARDS[:WORKERS]]",
+        default=None,
+        help="run the TQ-path sweeps under a QueryRuntime execution "
+        "policy, e.g. 'serial', 'threads:auto', 'processes:7:4' "
+        "(default: the legacy plain-dense path)",
+    )
+    args = parser.parse_args(list(argv))
+    runtime_config = (
+        parse_runtime_spec(args.runtime) if args.runtime else None
+    )
+    names = args.figures or list(ALL_FIGURES)
+    factory = WorkloadFactory(runtime_config=runtime_config)
+    if runtime_config is not None:
+        print(f"runtime: {runtime_config}")
+        print()
     t0 = time.perf_counter()
     for name in names:
         for fig in run_figure(name, factory):

@@ -47,6 +47,7 @@ __all__ = [
     "time_call",
     "WorkloadFactory",
     "DEFAULTS",
+    "parse_runtime_spec",
 ]
 
 
@@ -112,6 +113,35 @@ class _Defaults:
 DEFAULTS = _Defaults()
 
 
+def parse_runtime_spec(spec: str) -> RuntimeConfig:
+    """A :class:`RuntimeConfig` from a ``POLICY[:SHARDS[:WORKERS]]`` spec.
+
+    This is the grammar of the figure driver's ``--runtime`` flag:
+    ``serial``, ``threads:4``, ``processes:7:2``, … — the policy by
+    name, then the shard count (``0`` / ``auto`` = the AUTO heuristic),
+    then the worker count (omitted = machine-sized).  The backend stays
+    ``AUTO`` (grid for stop-dense sets), since the policy/shard axes are
+    what the runtime sweeps vary.
+    """
+    parts = [p.strip() for p in spec.split(":")]
+    if not any(parts):
+        raise ValueError(f"empty runtime spec: {spec!r}")
+    if not all(parts):
+        # 'processes::4' is a typo, not a request — misparsing it as
+        # shards=4 would silently run a different configuration
+        raise ValueError(f"runtime spec has an empty field: {spec!r}")
+    policy = parts[0]
+    shards = 0
+    max_workers: Optional[int] = None
+    if len(parts) > 1:
+        shards = 0 if parts[1] == "auto" else int(parts[1])
+    if len(parts) > 2:
+        max_workers = int(parts[2])
+    if len(parts) > 3:
+        raise ValueError(f"runtime spec has too many fields: {spec!r}")
+    return RuntimeConfig(policy=policy, shards=shards, max_workers=max_workers)
+
+
 def bench_scale() -> float:
     """Workload multiplier from ``REPRO_BENCH_SCALE`` (default 1.0)."""
     raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
@@ -157,10 +187,22 @@ class WorkloadFactory:
     that reuses the 1-day workload pays generation and index construction
     once.  A single shared city (seeded) underlies everything, exactly as
     one real metropolitan area underlies the paper's sweeps.
+
+    ``runtime_config``, when given, makes the factory *runtime-aware*:
+    :meth:`query_runtime` hands every TQ-path sweep a fresh
+    :class:`~repro.runtime.QueryRuntime` under that policy/shard
+    configuration (the figure driver's ``--runtime`` flag sets it), so
+    the paper's Figure 6–9 experiments can be re-run under any execution
+    policy.  ``None`` keeps the legacy plain-dense path.
     """
 
-    def __init__(self, defaults: _Defaults = DEFAULTS) -> None:
+    def __init__(
+        self,
+        defaults: _Defaults = DEFAULTS,
+        runtime_config: Optional[RuntimeConfig] = None,
+    ) -> None:
         self.defaults = defaults
+        self.runtime_config = runtime_config
         self.city = CityModel.generate(
             seed=defaults.city_seed, size=defaults.city_size
         )
@@ -273,3 +315,17 @@ class WorkloadFactory:
         return QueryRuntime(
             RuntimeConfig(backend=backend, shards=shards, max_workers=max_workers)
         )
+
+    def query_runtime(self) -> Optional[QueryRuntime]:
+        """A fresh runtime under the factory's ``runtime_config``, or
+        ``None`` when the factory is not runtime-aware.
+
+        Fresh per call for the same reason :meth:`runtime` is not
+        memoised: each sweep leg owns its caches, so one leg's warm
+        masks cannot contaminate another's measurement.  Callers must
+        ``close()`` (or ``with``) the runtime — the processes policy
+        holds a pool and shared-memory segments.
+        """
+        if self.runtime_config is None:
+            return None
+        return QueryRuntime(self.runtime_config)

@@ -14,22 +14,26 @@ Independently of how the *index* is built, :class:`ProximityBackend`
 selects how exact ``psi``-distance checks are executed at query time:
 the dense all-pairs broadcast (the reference oracle path) or the uniform
 stop grid of :mod:`repro.engine` (``AUTO`` picks per stop set).
-:class:`RuntimeConfig` bundles the backend with the sharding and worker
-settings consumed by :class:`repro.runtime.QueryRuntime` — none of these
-knobs ever changes a query answer, only how the geometric work is
-scheduled.
+:class:`ExecutionPolicy` selects how sharded probes are *scheduled* —
+serially, over a thread pool, or over a process pool with shared-memory
+shard views.  :class:`RuntimeConfig` bundles backend, policy, sharding,
+and worker settings consumed by :class:`repro.runtime.QueryRuntime` —
+none of these knobs ever changes a query answer, only how the geometric
+work is scheduled.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from .errors import IndexError_, QueryError
 
 __all__ = [
     "IndexVariant",
     "ProximityBackend",
+    "ExecutionPolicy",
     "TQTreeConfig",
     "RuntimeConfig",
     "SHARDS_AUTO",
@@ -57,6 +61,37 @@ class ProximityBackend(enum.Enum):
     AUTO = "auto"
     """Grid for stop-dense sets, dense broadcast below a stop-count
     threshold where grid bookkeeping costs more than it saves."""
+
+
+class ExecutionPolicy(enum.Enum):
+    """How sharded coverage probes are scheduled (query-time knob).
+
+    Like :class:`ProximityBackend`, the choice never affects results —
+    shard masks are unioned and the union is order-independent — only
+    where the per-shard work runs.  :class:`RuntimeConfig` accepts the
+    enum or its string value (``RuntimeConfig(policy="processes")``).
+    """
+
+    SERIAL = "serial"
+    """Probe shards one after another on the calling thread.  Zero
+    scheduling overhead; the partition still pays through cache
+    locality."""
+
+    THREADS = "threads"
+    """Fan shard probes out over a :class:`~concurrent.futures.
+    ThreadPoolExecutor` (the dense numpy kernels release the GIL, so
+    shard tasks genuinely overlap)."""
+
+    PROCESSES = "processes"
+    """Fan shard probes out over a :class:`~concurrent.futures.
+    ProcessPoolExecutor`; shard arrays ship once through
+    ``multiprocessing.shared_memory`` and workers reconstruct zero-copy
+    views, so the coordinator scales past the GIL entirely."""
+
+
+#: Start methods ``multiprocessing`` knows; ``None`` keeps the platform
+#: default (fork on Linux, spawn on macOS/Windows).
+_START_METHODS = (None, "fork", "spawn", "forkserver")
 
 
 #: Sentinel shard count: let :func:`auto_shard_count` pick from the stop
@@ -101,25 +136,46 @@ class RuntimeConfig:
     ----------
     backend:
         How exact ``psi``-distance checks run (never changes answers).
+    policy:
+        How sharded probes are scheduled (:class:`ExecutionPolicy` or
+        its string value): ``"serial"``, ``"threads"`` (default), or
+        ``"processes"``.  Never changes answers either.
     shards:
         Grid shard count for stop sets the runtime dresses:
         :data:`SHARDS_AUTO` picks per stop set via
         :func:`auto_shard_count`; ``1`` forces the unsharded grid;
         ``>= 2`` forces that many shards.
     max_workers:
-        Threads for fanning a probe block out over shards.  ``None``
-        sizes the pool from ``os.cpu_count()``; ``0`` or ``1`` keeps the
-        fan-out serial (still sharded — the partition pays for itself
-        through cache locality even without parallelism).
+        Workers (threads or processes, per ``policy``) for fanning a
+        probe block out over shards.  ``None`` sizes the pool from
+        ``os.cpu_count()``; ``0`` or ``1`` keeps the fan-out serial
+        (still sharded — the partition pays for itself through cache
+        locality even without parallelism).
+    start_method:
+        ``multiprocessing`` start method for the ``processes`` policy:
+        ``"fork"``, ``"spawn"``, ``"forkserver"``, or ``None`` for the
+        platform default.  Ignored by the other policies.
     """
 
     backend: ProximityBackend = ProximityBackend.AUTO
+    policy: Union[ExecutionPolicy, str] = ExecutionPolicy.THREADS
     shards: int = SHARDS_AUTO
     max_workers: "int | None" = None
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, ProximityBackend):
             raise QueryError(f"unknown proximity backend: {self.backend!r}")
+        if not isinstance(self.policy, ExecutionPolicy):
+            try:
+                object.__setattr__(
+                    self, "policy", ExecutionPolicy(self.policy)
+                )
+            except ValueError:
+                raise QueryError(
+                    f"unknown execution policy: {self.policy!r} (choose "
+                    f"from {[p.value for p in ExecutionPolicy]})"
+                ) from None
         if self.shards < 0:
             raise QueryError(
                 f"shards must be >= 1 or SHARDS_AUTO (0), got {self.shards}"
@@ -127,6 +183,11 @@ class RuntimeConfig:
         if self.max_workers is not None and self.max_workers < 0:
             raise QueryError(
                 f"max_workers must be >= 0 or None, got {self.max_workers}"
+            )
+        if self.start_method not in _START_METHODS:
+            raise QueryError(
+                f"unknown start method: {self.start_method!r} (choose "
+                f"from {_START_METHODS})"
             )
 
 

@@ -22,6 +22,7 @@ holds the engine to ``==``, not ``approx``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -70,17 +71,20 @@ class BatchQueryEngine:
         The fixed user trajectories; order defines score accumulation
         order (matching the brute-force oracle).
     backend:
-        How coverage masks are computed (:class:`ProximityBackend`);
-        defaults to ``AUTO``, which grids stop-dense facilities and
-        stays dense otherwise.  Mutually exclusive with ``runtime``
-        (mixing the two would make the winning policy ambiguous, so it
-        raises — the same rule :func:`repro.runtime.coerce_runtime`
-        applies to the query functions).
+        *Deprecated* (emits a :exc:`DeprecationWarning`; pass a
+        ``runtime`` instead).  How coverage masks are computed
+        (:class:`ProximityBackend`); defaults to ``AUTO``, which grids
+        stop-dense facilities and stays dense otherwise.  Mutually
+        exclusive with ``runtime`` (mixing the two would make the
+        winning policy ambiguous, so it raises — the same rule
+        :func:`repro.runtime.coerce_runtime` applies to the query
+        functions).
     cache:
-        Optional shared :class:`CoverageCache`; one is created per
-        engine when omitted.  Masks are memoised per (stop set, psi),
-        so repeated and multi-model queries pay one mask.  Mutually
-        exclusive with ``runtime`` (whose cache the engine uses).
+        *Deprecated* alongside ``backend``.  Optional shared
+        :class:`CoverageCache`; one is created per engine when omitted.
+        Masks are memoised per (stop set, psi), so repeated and
+        multi-model queries pay one mask.  Mutually exclusive with
+        ``runtime`` (whose cache the engine uses).
     runtime:
         A :class:`repro.runtime.QueryRuntime`: stop sets are dressed by
         its policy (dense / gridded / sharded with executor fan-out),
@@ -108,6 +112,16 @@ class BatchQueryEngine:
             self.backend = runtime.config.backend
             self.cache = runtime.cache
         else:
+            if backend is not None or cache is not None:
+                # the engine layer cannot import the runtime above it,
+                # so this is the one legacy shim that warns without
+                # routing through coerce_runtime
+                warnings.warn(
+                    "the backend=/cache= keywords are deprecated; pass "
+                    "runtime=QueryRuntime(backend=..., cache=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             backend = backend if backend is not None else ProximityBackend.AUTO
             if not isinstance(backend, ProximityBackend):
                 raise QueryError(f"unknown proximity backend: {backend!r}")

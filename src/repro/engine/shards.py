@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from concurrent.futures import Executor
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -62,7 +63,14 @@ from .grid import (
     _validated_stop_coords,
 )
 
-__all__ = ["StopShard", "ShardedStopGrid", "ShardedStopSet", "ShardStore"]
+__all__ = [
+    "StopShard",
+    "ShardedStopGrid",
+    "ShardedStopSet",
+    "ShardStore",
+    "ProbeBatch",
+    "probe_shard_arrays",
+]
 
 #: Key stride between grid rows: ``key = ix * _KEY_STRIDE + iy``.  The
 #: cell-size derivation caps cells per axis at 2**20, so ``iy`` always
@@ -76,6 +84,94 @@ _ROW_OFFSETS = (-1, 0, 1)
 
 def _content_digest(arr: np.ndarray) -> bytes:
     return hashlib.sha1(np.ascontiguousarray(arr).tobytes()).digest()
+
+
+@dataclass(frozen=True)
+class ProbeBatch:
+    """One batched coverage query's per-point probe inputs.
+
+    Everything a shard needs beyond its own arrays: the probe points,
+    their cell coordinates and clipped y-windows, the candidate key
+    window ``[kmin, kmax]`` per point, the query radius, and the grid
+    width ``nx``.  Execution-policy fan-outs ship exactly this (plus the
+    shard arrays) to wherever the probe runs — thread, process, or the
+    calling frame — so every policy computes from identical inputs.
+    """
+
+    pts: np.ndarray
+    cx: np.ndarray
+    ylo: np.ndarray
+    yhi: np.ndarray
+    kmin: np.ndarray
+    kmax: np.ndarray
+    psi: float
+    nx: int
+
+
+#: What one shard probe returns when any of its points were probed:
+#: ``(scan_pts, hit_points, distance_evals, cells_probed)`` where the
+#: first two are global probe-point indices.
+ProbeResult = Tuple[np.ndarray, np.ndarray, int, int]
+
+
+def probe_shard_arrays(
+    keys: np.ndarray,
+    coords: np.ndarray,
+    cell_starts: np.ndarray,
+    batch: ProbeBatch,
+) -> Optional[ProbeResult]:
+    """The per-shard probe: row-range gather + exact kernel.
+
+    A pure module-level function of immutable arrays — the one probe
+    body every execution policy runs.  The thread policy calls it on
+    shared arrays directly; the process policy reconstructs the same
+    arrays from shared memory in a worker and calls it there; serial
+    execution calls it inline.  Identical inputs, identical maths,
+    identical masks.
+
+    Returns ``None`` when no probe point's candidate window overlaps the
+    shard (or nothing was gathered), else ``(scan_pts, hits, evals,
+    cells)``: the global indices of points that received at least one
+    distance test, the global indices of points within ``psi`` of a
+    shard stop (possibly repeated), and the work counters.
+    """
+    if keys.size == 0:
+        return None
+    key_lo = keys[0]
+    key_hi = keys[-1]
+    sel = np.nonzero((batch.kmax >= key_lo) & (batch.kmin <= key_hi))[0]
+    ns = sel.size
+    if ns == 0:
+        return None
+    scx = batch.cx[sel]
+    sylo = batch.ylo[sel]
+    syhi = batch.yhi[sel]
+    nx = batch.nx
+    klo = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
+    khi = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
+    for col, dx in enumerate(_ROW_OFFSETS):
+        rx = scx + dx
+        valid = (rx >= 0) & (rx < nx)
+        base = rx * _KEY_STRIDE
+        # invalid rows get an empty [-1, -2] range (keys are >= 0)
+        klo[:, col] = np.where(valid, base + sylo, np.int64(-1))
+        khi[:, col] = np.where(valid, base + syhi, np.int64(-2))
+    lo = np.searchsorted(keys, klo, side="left")
+    hi = np.searchsorted(keys, khi, side="right")
+    counts = hi - lo
+    np.maximum(counts, 0, out=counts)  # clipped y-windows
+    per_point = counts.sum(axis=1)
+    total = int(per_point.sum())
+    if total == 0:
+        return None
+    cells = int(np.maximum(cell_starts[hi] - cell_starts[lo], 0).sum())
+    # expand (point, candidate-stop) pairs flat, kernel at once
+    pair_point, pair_stop = _expand_candidate_pairs(lo, counts, per_point, total)
+    sub = batch.pts[sel]
+    dx_ = sub[pair_point, 0] - coords[pair_stop, 0]
+    dy_ = sub[pair_point, 1] - coords[pair_stop, 1]
+    hits = sel[pair_point[psi_hit(dx_, dy_, batch.psi)]]
+    return sel[per_point > 0], hits, total, cells
 
 
 class StopShard:
@@ -364,8 +460,18 @@ class ShardedStopGrid:
         stop.  Bit-identical to the dense kernel and to
         :meth:`StopGrid.covered_mask` for every input and shard count.
 
-        ``executor``, when given, runs the per-shard probes concurrently;
-        the mask union is order-independent, so scheduling never affects
+        ``executor`` selects how the per-shard probes are scheduled:
+
+        * ``None`` — probed inline, one shard after another;
+        * a :class:`concurrent.futures.Executor` — the probes ride its
+          threads (they read only shared immutable arrays);
+        * any object with a ``probe_shards(shards, batch)`` method — the
+          fan-out is delegated entirely (this is how the runtime's
+          process policy ships shard arrays through shared memory).  The
+          method must return one :data:`ProbeResult`-or-``None`` per
+          shard, *in shard order*.
+
+        The mask union is order-independent, so scheduling never affects
         the answer.  Per-shard work counters are merged into ``stats``
         via :meth:`QueryStats.merge`, with multi-shard points attributed
         to their first probing shard so the merged totals equal an
@@ -391,82 +497,45 @@ class ShardedStopGrid:
         # the shard's key range
         kmin = (cx - 1) * _KEY_STRIDE + ylo
         kmax = (cx + 1) * _KEY_STRIDE + yhi
+        batch = ProbeBatch(pts, cx, ylo, yhi, kmin, kmax, psi, self._nx)
 
         tasks = [shard for shard in self.shards if shard.n_stops]
-        probe = self._shard_probe(pts, cx, ylo, yhi, kmin, kmax, psi)
         if executor is not None and len(tasks) > 1:
-            results = list(executor.map(probe, tasks))
+            probe_shards = getattr(executor, "probe_shards", None)
+            if probe_shards is not None:
+                results = probe_shards(tasks, batch)
+            else:
+                results = list(
+                    executor.map(
+                        lambda shard: probe_shard_arrays(
+                            shard.keys, shard.coords, shard.cell_starts, batch
+                        ),
+                        tasks,
+                    )
+                )
         else:
-            results = [probe(shard) for shard in tasks]
+            results = [
+                probe_shard_arrays(s.keys, s.coords, s.cell_starts, batch)
+                for s in tasks
+            ]
 
         out = np.zeros(n, dtype=bool)
         claimed = np.zeros(n, dtype=bool) if stats is not None else None
         for res in results:  # fixed shard order: deterministic stats
             if res is None:
                 continue
-            sel, scanned, hits, evals, cells = res
+            scan_pts, hits, evals, cells = res
             out[hits] = True
             if stats is not None:
                 shard_stats = QueryStats(
                     distance_evals=evals, cells_probed=cells
                 )
-                scan_pts = sel[scanned]
                 if scan_pts.size:
                     fresh = scan_pts[~claimed[scan_pts]]
                     shard_stats.points_scanned = int(fresh.size)
                     claimed[scan_pts] = True
                 stats.merge(shard_stats)
         return out
-
-    def _shard_probe(self, pts, cx, ylo, yhi, kmin, kmax, psi):
-        """The per-shard task: row-range gather + exact kernel.
-
-        Reads only shared immutable arrays, writes nothing shared — safe
-        under a thread-pool executor.  Returns ``None`` when no point's
-        candidate window overlaps the shard, else
-        ``(sel, scanned, hit_points, distance_evals, cells_probed)``.
-        """
-        nx = self._nx
-
-        def probe(shard: StopShard):
-            sel = np.nonzero((kmax >= shard.key_lo) & (kmin <= shard.key_hi))[0]
-            ns = sel.size
-            if ns == 0:
-                return None
-            scx = cx[sel]
-            sylo = ylo[sel]
-            syhi = yhi[sel]
-            klo = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
-            khi = np.empty((ns, len(_ROW_OFFSETS)), dtype=np.int64)
-            for col, dx in enumerate(_ROW_OFFSETS):
-                rx = scx + dx
-                valid = (rx >= 0) & (rx < nx)
-                base = rx * _KEY_STRIDE
-                # invalid rows get an empty [-1, -2] range (keys are >= 0)
-                klo[:, col] = np.where(valid, base + sylo, np.int64(-1))
-                khi[:, col] = np.where(valid, base + syhi, np.int64(-2))
-            lo = np.searchsorted(shard.keys, klo, side="left")
-            hi = np.searchsorted(shard.keys, khi, side="right")
-            counts = hi - lo
-            np.maximum(counts, 0, out=counts)  # clipped y-windows
-            per_point = counts.sum(axis=1)
-            total = int(per_point.sum())
-            scanned = per_point > 0
-            if total == 0:
-                return sel, scanned, np.zeros(0, dtype=np.int64), 0, 0
-            prefix = shard.cell_starts
-            cells = int(np.maximum(prefix[hi] - prefix[lo], 0).sum())
-            # expand (point, candidate-stop) pairs flat, kernel at once
-            pair_point, pair_stop = _expand_candidate_pairs(
-                lo, counts, per_point, total
-            )
-            sub = pts[sel]
-            dx_ = sub[pair_point, 0] - shard.coords[pair_stop, 0]
-            dy_ = sub[pair_point, 1] - shard.coords[pair_stop, 1]
-            hits = sel[pair_point[psi_hit(dx_, dy_, psi)]]
-            return sel, scanned, hits, total, cells
-
-        return probe
 
     def covers_point(
         self,

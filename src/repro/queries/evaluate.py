@@ -21,31 +21,36 @@ which users were served — MaxkCovRST needs these per-facility match sets
 to price combined coverage.
 
 Acceleration plugs in through one object without changing any result: a
-:class:`~repro.runtime.QueryRuntime` passed as ``runtime`` selects how
-the component's exact-distance checks execute (dense broadcast, uniform
-stop grid, or sharded grid fanned out on the runtime's workers),
-memoises each (facility, q-node) candidate list and coverage mask in
-the runtime's cache so a re-walk in the same mode — a repeated query
-for the same facility, ancestor scans across kMaxRRST relax rounds,
-solver ensembles sharing match sets — skips the geometric work, and
-accrues this evaluation's work counters into the runtime's grand total.
-(Collecting and non-collecting walks select different candidate sets,
-so the cache keys them apart rather than sharing across them.)  The
-pre-runtime ``backend=`` / ``cache=`` keywords remain as deprecated
-shims via :func:`~repro.runtime.coerce_runtime`.
+:class:`~repro.runtime.QueryRuntime` passed as ``runtime`` owns the
+whole probe path — every exact distance check goes through
+:meth:`~repro.runtime.QueryRuntime.probe_mask`, which dresses the
+component's stops for the runtime's backend and execution policy (dense
+broadcast, uniform stop grid, or sharded grid fanned out serially, over
+threads, or over a shared-memory process pool) — memoises each
+(facility, q-node) candidate list and coverage mask in the runtime's
+cache so a re-walk in the same mode — a repeated query for the same
+facility, ancestor scans across kMaxRRST relax rounds, solver ensembles
+sharing match sets — skips the geometric work, and accrues this
+evaluation's work counters into the runtime's grand total.  (Collecting
+and non-collecting walks select different candidate sets, so the cache
+keys them apart rather than sharing across them.)  No backend, grid, or
+cache type is plumbed through this module directly; the pre-runtime
+``backend=`` / ``cache=`` keywords remain as deprecated shims via
+:func:`~repro.runtime.coerce_runtime`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..core.config import IndexVariant, ProximityBackend
+from ..core.config import IndexVariant
+from ..core.errors import QueryError
 from ..core.service import ServiceModel, ServiceSpec
 from ..core.stats import QueryStats
 from ..core.trajectory import FacilityRoute
-from ..engine.cache import CoverageCache
 from ..index.entries import IndexEntry
 from ..index.tqtree import QNode, TQTree
 from ..runtime import QueryRuntime, coerce_runtime
@@ -178,18 +183,23 @@ def _candidate_mask(
     component: FacilityComponent,
     spec: ServiceSpec,
     stats: Optional[QueryStats],
+    runtime: Optional[QueryRuntime],
 ) -> np.ndarray:
     """One vectorised distance pass over all candidates' probe points.
 
     All candidates' probe points are stacked into a single coordinate
-    block and checked against the component's stops at once (the stop
-    set may be dense or grid-backed; results are identical).
+    block and checked against the component's stops at once.  With a
+    runtime the check rides its probe path (backend dressing plus the
+    configured execution policy); without one it is the plain dense
+    kernel.  Results are identical either way.
     """
     coords = (
         candidates[0].probe_coords
         if len(candidates) == 1
         else np.concatenate([e.probe_coords for e in candidates])
     )
+    if runtime is not None:
+        return runtime.probe_mask(component.stops, coords, spec.psi, stats)
     return component.stops.covered_mask(coords, spec.psi, stats)
 
 
@@ -288,20 +298,48 @@ def evaluate_node_trajectories(
     spec: ServiceSpec,
     collector: Optional[MatchCollector] = None,
     stats: Optional[QueryStats] = None,
-    cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
+    cache=None,
 ) -> float:
     """Algorithm 2: score the entries stored *at* ``node`` against the
     facility component.  Returns the service value gained.
 
-    ``cache`` memoises the (candidates, mask) pair per (facility,
-    q-node, psi, mode): the component a facility induces at a node is
-    the same whichever algorithm walked there (stops within the node's
-    box expanded by ``psi``), so a later walk in the same mode — a
-    repeated query, an ancestor re-scan — reuses the geometric work and
-    only re-runs the cheap aggregation.  Mode (collecting flag plus
-    service model) is part of the key because it changes which
-    candidates survive zReduce.
+    ``runtime`` owns the probe path (how the exact distance pass
+    executes) and memoises the (candidates, mask) pair per (facility,
+    q-node, psi, mode) in its cache: the component a facility induces at
+    a node is the same whichever algorithm walked there (stops within
+    the node's box expanded by ``psi``), so a later walk in the same
+    mode — a repeated query, an ancestor re-scan — reuses the geometric
+    work and only re-runs the cheap aggregation.  Mode (collecting flag
+    plus service model) is part of the key because it changes which
+    candidates survive zReduce.  ``cache`` is the deprecated
+    pre-runtime spelling (a bare :class:`~repro.engine.CoverageCache`).
     """
+    if (
+        runtime is not None
+        and cache is None
+        and not isinstance(runtime, QueryRuntime)
+    ):
+        # PR-2's signature had the bare cache in this positional slot;
+        # keep such callers on the deprecation shim instead of crashing
+        runtime, cache = None, runtime
+    if cache is not None:
+        # the bare-cache shim keeps PR-2 semantics exactly (memoise,
+        # dense probes) without building a throwaway runtime on what is
+        # a per-node hot path
+        if runtime is not None:
+            raise QueryError(
+                "pass either runtime= or the legacy cache= keyword, "
+                "not both"
+            )
+        warnings.warn(
+            "the cache= keyword is deprecated; pass "
+            "runtime=QueryRuntime(cache=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    elif runtime is not None:
+        cache = runtime.cache
     if component.is_empty or not node.entries:
         return 0.0
     collecting = collector is not None
@@ -339,7 +377,7 @@ def evaluate_node_trajectories(
                 np.zeros(0, dtype=bool),
             )
         return 0.0
-    mask = _candidate_mask(candidates, component, spec, stats)
+    mask = _candidate_mask(candidates, component, spec, stats, runtime)
     if cache is not None:
         cache.store_node(key, node, component.stops.coords, candidates, mask)
     return _aggregate_candidates(candidates, mask, spec, collector)
@@ -351,17 +389,18 @@ def evaluate_service(
     spec: ServiceSpec,
     collector: Optional[MatchCollector] = None,
     stats: Optional[QueryStats] = None,
-    backend: Optional[ProximityBackend] = None,
-    cache: Optional[CoverageCache] = None,
+    backend=None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> float:
     """Algorithm 1: the full service value ``SO(U, f)`` of one facility.
 
     Divide-and-conquer from the root: children whose region the component
     cannot serve are pruned; every visited node's own list is scored via
-    Algorithm 2.  ``runtime`` selects how exact distance checks execute
-    (dense broadcast, stop grid, or sharded fan-out — identical results),
-    memoises per-(facility, node) coverage in its cache, and accrues this
+    Algorithm 2.  ``runtime`` owns the probe path — how exact distance
+    checks execute (dense broadcast, stop grid, or sharded fan-out under
+    the runtime's execution policy — identical results) — memoises
+    per-(facility, node) coverage in its cache, and accrues this
     evaluation's work into its grand total.  ``backend`` / ``cache`` are
     the deprecated pre-runtime spellings.
     """
@@ -377,7 +416,7 @@ def evaluate_service(
     component = whole.restricted_to(tree.root.box)
     local = QueryStats()
     so = _evaluate_rec(
-        tree, tree.root, component, spec, collector, local, runtime.cache
+        tree, tree.root, component, spec, collector, local, runtime
     )
     runtime.accrue(local)
     if stats is not None:
@@ -392,14 +431,14 @@ def _evaluate_rec(
     spec: ServiceSpec,
     collector: Optional[MatchCollector],
     stats: Optional[QueryStats],
-    cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> float:
     if component.is_empty:
         return 0.0
     if stats is not None:
         stats.nodes_visited += 1
     so = evaluate_node_trajectories(
-        tree, node, component, spec, collector, stats, cache
+        tree, node, component, spec, collector, stats, runtime
     )
     if node.children is not None:
         boxes = [child.box for child in node.children]
@@ -410,6 +449,6 @@ def _evaluate_rec(
             if child.sub.n_entries == 0:
                 continue  # empty subtree
             so += _evaluate_rec(
-                tree, child, child_comp, spec, collector, stats, cache
+                tree, child, child_comp, spec, collector, stats, runtime
             )
     return so

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
-from ..engine.cache import CoverageCache
 from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult, greedy_max_k_coverage
 
@@ -43,7 +42,7 @@ def exact_max_k_coverage(
     k: int,
     spec: ServiceSpec,
     match_fn: MatchFn,
-    cache: Optional[CoverageCache] = None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """The optimal size-k subset under combined-coverage semantics.

@@ -22,7 +22,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
-from ..engine.cache import CoverageCache
 from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult
 
@@ -63,7 +62,7 @@ def genetic_max_k_coverage(
     spec: ServiceSpec,
     match_fn: MatchFn,
     config: GeneticConfig = GeneticConfig(),
-    cache: Optional[CoverageCache] = None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """Approximate MaxkCovRST with a generational GA.

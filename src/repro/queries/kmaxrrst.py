@@ -21,11 +21,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
-from ..core.config import ProximityBackend
 from ..core.errors import QueryError
 from ..core.service import ServiceSpec
 from ..core.trajectory import FacilityRoute
-from ..engine.cache import CoverageCache
 from ..index.tqtree import QNode, TQTree
 from ..runtime import QueryRuntime, coerce_runtime
 from .components import FacilityComponent, intersecting_components
@@ -93,7 +91,6 @@ def _initial_state(
     the serving envelope), so those ancestor lists — at most tree-height
     many — are evaluated exactly into ``aserve`` up front.
     """
-    cache = runtime.cache if runtime is not None else None
     whole = FacilityComponent.whole(facility, spec.psi)
     if runtime is not None:
         whole = whole.with_stops(runtime.stop_set(whole.stops, spec.psi))
@@ -107,7 +104,8 @@ def _initial_state(
         for ancestor in tree.ancestors(anchor):
             ancestor_comp = whole.restricted_to(ancestor.box)
             aserve += evaluate_node_trajectories(
-                tree, ancestor, ancestor_comp, spec, stats=stats, cache=cache
+                tree, ancestor, ancestor_comp, spec, stats=stats,
+                runtime=runtime,
             )
     if component.is_empty:
         return _State(facility, [], aserve, 0.0)
@@ -121,7 +119,7 @@ def _relax_state(
     state: _State,
     spec: ServiceSpec,
     stats: QueryStats,
-    cache: Optional[CoverageCache] = None,
+    runtime: Optional[QueryRuntime] = None,
 ) -> _State:
     """Algorithm 4: expand every frontier pair one level."""
     stats.states_relaxed += 1
@@ -131,7 +129,7 @@ def _relax_state(
     for node, component in state.qflist:
         stats.nodes_visited += 1
         aserve += evaluate_node_trajectories(
-            tree, node, component, spec, stats=stats, cache=cache
+            tree, node, component, spec, stats=stats, runtime=runtime
         )
         if node.children is None:
             continue
@@ -151,18 +149,19 @@ def top_k_facilities(
     facilities: Sequence[FacilityRoute],
     k: int,
     spec: ServiceSpec,
-    backend: Optional[ProximityBackend] = None,
-    cache: Optional[CoverageCache] = None,
+    backend=None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> KMaxRRSTResult:
     """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
 
     Returns the exact ranking (service values included) in descending
     order of service.  ``k`` larger than ``len(facilities)`` returns
-    everything ranked.  ``runtime`` accelerates the exact distance work
-    (:mod:`repro.engine` via :mod:`repro.runtime`) without changing the
-    ranking, and accrues the query's work counters into its total;
-    ``backend``/``cache`` are the deprecated pre-runtime spellings.
+    everything ranked.  ``runtime`` owns the probe path: the exact
+    distance work rides its backend and execution policy without
+    changing the ranking, and the query's work counters accrue into its
+    total; ``backend``/``cache`` are the deprecated pre-runtime
+    spellings.
 
     Early termination (Section IV-B): every state's ``aserve`` is a lower
     bound on its final service, so the k-th largest ``aserve`` seen so far
@@ -196,7 +195,6 @@ def top_k_facilities(
             threshold_cache[0] = sorted(best_lower.values(), reverse=True)[k - 1]
         return threshold_cache[0]
 
-    node_cache = runtime.cache if runtime is not None else None
     heap: List[Tuple[float, int, _State]] = []
     for facility in facilities:
         state = _initial_state(tree, facility, spec, stats, runtime)
@@ -212,7 +210,7 @@ def top_k_facilities(
         if state.fserve < threshold():
             stats.states_pruned += 1
             continue  # can never reach the top-k
-        relaxed = _relax_state(tree, state, spec, stats, node_cache)
+        relaxed = _relax_state(tree, state, spec, stats, runtime)
         observe_lower_bound(state.facility.facility_id, relaxed.aserve)
         heapq.heappush(heap, (-relaxed.fserve, next(counter), relaxed))
     if runtime is not None:

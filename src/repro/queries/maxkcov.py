@@ -24,11 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.config import ProximityBackend
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
 from ..core.trajectory import FacilityRoute, Trajectory
-from ..engine.cache import CoverageCache
 from ..index.tqtree import TQTree
 from ..runtime import QueryRuntime, coerce_runtime
 from .baseline import BaselineIndex
@@ -72,16 +70,16 @@ class MaxKCovResult:
 def tq_match_fn(
     tree: TQTree,
     spec: ServiceSpec,
-    backend: Optional[ProximityBackend] = None,
-    cache: Optional[CoverageCache] = None,
+    backend=None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MatchFn:
     """Match sets via TQ-tree evaluation (TQ(B) or TQ(Z) per tree config).
 
-    ``runtime`` selects the exact-distance path and memoises both the
-    per-node coverage and the finished per-facility match sets in its
-    cache — results are identical either way.  ``backend`` / ``cache``
-    are the deprecated pre-runtime spellings.
+    ``runtime`` owns the probe path (backend plus execution policy) and
+    memoises both the per-node coverage and the finished per-facility
+    match sets in its cache — results are identical either way.
+    ``backend`` / ``cache`` are the deprecated pre-runtime spellings.
     """
     runtime = coerce_runtime(runtime, backend, cache)
 
@@ -165,8 +163,8 @@ def maxkcov_tq(
     k: int,
     spec: ServiceSpec,
     prune_factor: int = 4,
-    backend: Optional[ProximityBackend] = None,
-    cache: Optional[CoverageCache] = None,
+    backend=None,
+    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
     """The paper's two-step greedy: G-TQ(B) / G-TQ(Z) per tree config.

@@ -17,17 +17,31 @@ its old ``backend=`` / ``cache=`` keywords as deprecated shims through
 
 from ..core.config import (
     SHARDS_AUTO,
+    ExecutionPolicy,
     RuntimeConfig,
     auto_shard_count,
     resolve_shard_count,
+)
+from .policies import (
+    PolicyExecutor,
+    ProcessPolicyExecutor,
+    SerialPolicyExecutor,
+    ThreadPolicyExecutor,
+    make_policy_executor,
 )
 from .runtime import QueryRuntime, coerce_runtime
 
 __all__ = [
     "QueryRuntime",
     "RuntimeConfig",
+    "ExecutionPolicy",
     "SHARDS_AUTO",
     "auto_shard_count",
     "resolve_shard_count",
     "coerce_runtime",
+    "PolicyExecutor",
+    "SerialPolicyExecutor",
+    "ThreadPolicyExecutor",
+    "ProcessPolicyExecutor",
+    "make_policy_executor",
 ]

@@ -21,10 +21,17 @@ execution policy:
   counters into :attr:`stats` (via
   :meth:`~repro.core.stats.QueryStats.merge`), giving a service-level
   grand total without threading a stats object through every call;
-* **the worker executor** — a lazily created thread pool that sharded
-  coverage probes fan out over (the dense numpy kernels release the
-  GIL); sized by ``RuntimeConfig.max_workers``, serial when the machine
-  or the config says so.
+* **the execution policy** — a :class:`~repro.runtime.policies.
+  PolicyExecutor` built from ``RuntimeConfig.policy``: ``serial``
+  probes shards inline, ``threads`` fans them over a lazily created
+  thread pool (the dense numpy kernels release the GIL), and
+  ``processes`` ships shard arrays through shared memory to a process
+  pool so the coordinator scales past the GIL; sized by
+  ``RuntimeConfig.max_workers``;
+* **the probe path** — :meth:`probe_mask` is the single coverage probe
+  the query layer calls: it dresses the stop set per policy and runs
+  the exact mask, so no module under ``queries/`` touches a backend or
+  grid type directly.
 
 None of this changes any answer: a runtime-routed query returns results
 bit-identical to the plain dense path, which is what
@@ -37,15 +44,14 @@ kept as deprecated shims that build a private runtime via
 
 from __future__ import annotations
 
-import os
-import threading
 import warnings
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor
 from typing import Optional, Union
 
 import numpy as np
 
 from ..core.config import (
+    ExecutionPolicy,
     ProximityBackend,
     RuntimeConfig,
     resolve_shard_count,
@@ -56,11 +62,9 @@ from ..core.stats import QueryStats
 from ..engine.cache import CoverageCache
 from ..engine.grid import AUTO_MIN_STOPS, GriddedStopSet
 from ..engine.shards import ShardedStopSet, ShardStore
+from .policies import make_policy_executor
 
 __all__ = ["QueryRuntime", "coerce_runtime"]
-
-#: Cap on the default thread-pool size when ``max_workers`` is ``None``.
-_DEFAULT_MAX_WORKERS = 8
 
 
 class QueryRuntime:
@@ -81,9 +85,13 @@ class QueryRuntime:
         runtimes reporting into one service-level total).
 
     A runtime is also a context manager: ``with QueryRuntime() as rt:``
-    shuts the worker pool down on exit.  Without the context-manager
-    form the pool lives until :meth:`close` (or interpreter exit —
-    thread pools are daemonless but idle threads are cheap).
+    shuts the worker machinery down on exit.  Without the
+    context-manager form the resources live until :meth:`close`; for
+    the ``serial``/``threads`` policies a forgotten close is cheap
+    (idle threads), but the ``processes`` policy holds a process pool
+    and named shared-memory segments — always close it (a GC finalizer
+    releases the segments as a safety net, but only when the executor
+    is actually collected).
     """
 
     def __init__(
@@ -101,53 +109,38 @@ class QueryRuntime:
                 raise QueryError(f"unknown proximity backend: {backend!r}")
             config = RuntimeConfig(
                 backend=backend,
+                policy=config.policy,
                 shards=config.shards,
                 max_workers=config.max_workers,
+                start_method=config.start_method,
             )
         self.config = config
         self.cache = cache if cache is not None else CoverageCache()
         self.stats = stats if stats is not None else QueryStats()
         self.shard_store = ShardStore()
-        self._executor: Optional[Executor] = None
-        self._executor_built = False
-        self._executor_lock = threading.Lock()
-        self._closed = False
+        self.policy_executor = make_policy_executor(config)
 
     # ------------------------------------------------------------------
     # executor lifecycle
     # ------------------------------------------------------------------
     @property
-    def executor(self) -> Optional[Executor]:
-        """The shard fan-out pool, or ``None`` when execution is serial.
+    def executor(self):
+        """What sharded probes fan out over right now, or ``None`` when
+        execution is serial.
 
-        Built lazily on first use so runtimes created by the legacy
-        keyword shims cost nothing unless sharding actually engages; the
-        build is locked because a shared service runtime can see its
-        first two queries on different threads, and the loser's pool
-        would otherwise leak unshutdown.
+        Shape depends on the configured :class:`~repro.core.config.
+        ExecutionPolicy`: ``serial`` always yields ``None``, ``threads``
+        a lazily built :class:`~concurrent.futures.ThreadPoolExecutor`,
+        ``processes`` the shared-memory fan-out object.  Lazy building
+        means runtimes created by the legacy keyword shims cost nothing
+        unless sharding actually engages.
         """
-        if not self._executor_built:
-            with self._executor_lock:
-                if not self._executor_built:
-                    workers = self.config.max_workers
-                    if workers is None:
-                        workers = min(_DEFAULT_MAX_WORKERS, os.cpu_count() or 1)
-                    if workers > 1 and not self._closed:
-                        self._executor = ThreadPoolExecutor(
-                            max_workers=workers, thread_name_prefix="repro-shard"
-                        )
-                    self._executor_built = True
-        return self._executor
+        return self.policy_executor.live()
 
     def close(self) -> None:
-        """Shut the worker pool down; the runtime stays usable serially."""
-        with self._executor_lock:
-            self._closed = True
-            executor = self._executor
-            self._executor = None
-            self._executor_built = True
-        if executor is not None:
-            executor.shutdown(wait=True)
+        """Shut the worker machinery down; the runtime stays usable
+        serially (dressed stop sets degrade to inline probing)."""
+        self.policy_executor.close()
 
     def __enter__(self) -> "QueryRuntime":
         return self
@@ -201,10 +194,36 @@ class QueryRuntime:
             )
         return GriddedStopSet(stops.coords, psi, min_stops)
 
-    def _live_executor(self) -> Optional[Executor]:
-        """The current pool, or ``None`` once closed (resolved late by
-        the sharded stop sets this runtime dresses)."""
+    def _live_executor(self):
+        """The current fan-out target, or ``None`` once closed (resolved
+        late by the sharded stop sets this runtime dresses)."""
         return self.executor
+
+    # ------------------------------------------------------------------
+    # the probe path
+    # ------------------------------------------------------------------
+    def probe_mask(
+        self,
+        stops: Union[StopSet, np.ndarray],
+        coords: np.ndarray,
+        psi: float,
+        stats: Optional[QueryStats] = None,
+    ) -> np.ndarray:
+        """The runtime-owned coverage probe: which ``coords`` rows are
+        within ``psi`` of ``stops``, under this runtime's backend and
+        execution policy.
+
+        This is the one entry point the query layer uses for exact
+        geometric work — ``queries/`` never touches a grid, shard, or
+        backend type directly.  Already-dressed stop sets pass through
+        :meth:`stop_set` untouched, so probing a component the runtime
+        dressed earlier costs nothing extra; undressed stops (direct
+        :func:`~repro.queries.evaluate.evaluate_node_trajectories`
+        calls, ad-hoc arrays) are dressed here first.  Results are
+        bit-identical to :meth:`~repro.core.service.StopSet
+        .covered_mask` for every policy.
+        """
+        return self.stop_set(stops, psi).covered_mask(coords, psi, stats)
 
     # ------------------------------------------------------------------
     # stats accrual
@@ -222,6 +241,7 @@ class QueryRuntime:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"QueryRuntime(backend={self.config.backend.value}, "
+            f"policy={self.config.policy.value}, "
             f"shards={self.config.shards}, cache_entries={len(self.cache)})"
         )
 
@@ -249,6 +269,10 @@ def coerce_runtime(
                 "pass either runtime= or the legacy backend=/cache= "
                 "keywords, not both"
             )
+        if not isinstance(runtime, QueryRuntime):
+            raise QueryError(
+                f"runtime must be a QueryRuntime, got {type(runtime).__name__}"
+            )
         return runtime
     if backend is None and cache is None:
         return None
@@ -260,6 +284,7 @@ def coerce_runtime(
     )
     config = RuntimeConfig(
         backend=backend if backend is not None else ProximityBackend.DENSE,
+        policy=ExecutionPolicy.SERIAL,
         shards=1,
         max_workers=0,
     )

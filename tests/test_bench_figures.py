@@ -112,3 +112,52 @@ class TestRunFigure:
     def test_all_registry_names_resolve(self):
         for name, fn in figures.ALL_FIGURES.items():
             assert callable(fn), name
+
+
+class TestRuntimeAwareSweeps:
+    """The Figure 6–9 sweeps must run under any execution policy and
+    shard count (the driver's ``--runtime`` flag) with the same series
+    structure as the legacy path."""
+
+    @pytest.mark.parametrize(
+        "spec", ["serial:1", "threads:2:2", "processes:2:2"]
+    )
+    def test_fig6a_structure_under_policies(self, monkeypatch, spec):
+        from repro.bench.harness import parse_runtime_spec
+
+        monkeypatch.setattr(figures, "DEFAULTS", TINY)
+        factory = WorkloadFactory(
+            TINY, runtime_config=parse_runtime_spec(spec)
+        )
+        (fig,) = run_figure("fig6a", factory)
+        got = series_dict(fig)
+        assert set(got) == {"BL", "TQ(B)", "TQ(Z)"}
+        for points in got.values():
+            assert [x for x, _ in points] == list(TINY.day_sweep)
+            assert all(y >= 0 for _, y in points)
+
+    def test_fig7b_and_fig10_run_under_runtime(self, monkeypatch):
+        from repro.bench.harness import parse_runtime_spec
+
+        monkeypatch.setattr(figures, "DEFAULTS", TINY)
+        factory = WorkloadFactory(
+            TINY, runtime_config=parse_runtime_spec("threads:2:2")
+        )
+        (fig7,) = run_figure("fig7b", factory)
+        for points in series_dict(fig7).values():
+            assert [x for x, _ in points] == list(TINY.k_sweep)
+        time_fig, served_fig = run_figure("fig10ab", factory)
+        # the runtime never changes answers: "# users served" under a
+        # runtime equals the legacy path's
+        plain_served = series_dict(
+            run_figure("fig10ab", WorkloadFactory(TINY))[1]
+        )
+        assert series_dict(served_fig) == plain_served
+
+    def test_main_accepts_runtime_flag(self, monkeypatch, capsys):
+        monkeypatch.setattr(figures, "DEFAULTS", TINY)
+        # table3 is static (no sweeps), so main() stays fast while still
+        # exercising the --runtime CLI wiring end to end
+        assert figures.main(["table3", "--runtime", "serial:1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime:" in out and "Table III" in out

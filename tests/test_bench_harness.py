@@ -11,10 +11,16 @@ from repro.bench.harness import (
     WorkloadFactory,
     _Defaults,
     bench_scale,
+    parse_runtime_spec,
     scaled,
     time_call,
 )
-from repro.core.config import IndexVariant
+from repro.core.config import (
+    SHARDS_AUTO,
+    ExecutionPolicy,
+    IndexVariant,
+    ProximityBackend,
+)
 from repro.core.service import ServiceModel
 
 
@@ -123,6 +129,52 @@ class TestWorkloadFactory:
             for u in users:
                 for p in u.points:
                     assert tiny_factory.city.bounds.contains_point(p)
+
+    def test_factory_not_runtime_aware_by_default(self, tiny_factory):
+        assert tiny_factory.query_runtime() is None
+
+    def test_runtime_aware_factory_hands_out_fresh_runtimes(self):
+        cfg = parse_runtime_spec("serial:2")
+        factory = WorkloadFactory(TINY, runtime_config=cfg)
+        rt1 = factory.query_runtime()
+        rt2 = factory.query_runtime()
+        try:
+            assert rt1 is not None and rt2 is not None
+            assert rt1 is not rt2  # fresh caches per sweep leg
+            assert rt1.config is cfg
+        finally:
+            rt1.close()
+            rt2.close()
+
+
+class TestParseRuntimeSpec:
+    def test_policy_only(self):
+        cfg = parse_runtime_spec("processes")
+        assert cfg.policy is ExecutionPolicy.PROCESSES
+        assert cfg.shards == SHARDS_AUTO
+        assert cfg.max_workers is None
+        assert cfg.backend is ProximityBackend.AUTO
+
+    def test_full_spec(self):
+        cfg = parse_runtime_spec("threads:7:2")
+        assert cfg.policy is ExecutionPolicy.THREADS
+        assert cfg.shards == 7
+        assert cfg.max_workers == 2
+
+    def test_auto_shards_keyword(self):
+        assert parse_runtime_spec("serial:auto").shards == SHARDS_AUTO
+
+    def test_bad_specs_raise(self):
+        from repro.core.errors import QueryError
+
+        with pytest.raises(ValueError):
+            parse_runtime_spec("  ")
+        with pytest.raises(ValueError):
+            parse_runtime_spec("threads:1:2:3")
+        with pytest.raises(ValueError):
+            parse_runtime_spec("processes::4")  # empty field is a typo
+        with pytest.raises(QueryError):
+            parse_runtime_spec("fibers")
 
 
 class TestTiming:

@@ -297,6 +297,101 @@ class TestShardStore:
         assert store.grid_hits >= 1  # the second set reused the build
 
 
+class TestShardStoreEviction:
+    """Retention is oldest-first and eviction is always recoverable:
+    the store is a content-addressed cache, so an evicted build simply
+    reconstructs (exactly) when requested again."""
+
+    def test_eviction_is_oldest_first(self):
+        rng = np.random.default_rng(31)
+        store = ShardStore(max_grids=2, max_shards=100)
+        sets = [rng.uniform(0, 300, size=(32, 2)) for _ in range(3)]
+        grids = [store.sharded_grid(c, 5.0, 2) for c in sets]
+        # cap 2: inserting the third evicted exactly the first build
+        assert len(store._grids) == 2
+        retained = list(store._grids.values())
+        assert grids[1] in retained and grids[2] in retained
+        assert grids[0] not in retained
+        # the survivors still hit; the evicted one misses
+        assert store.sharded_grid(sets[1], 5.0, 2) is grids[1]
+        assert store.sharded_grid(sets[2], 5.0, 2) is grids[2]
+
+    def test_reinsertion_after_eviction(self):
+        rng = np.random.default_rng(32)
+        store = ShardStore(max_grids=1, max_shards=4)
+        a = rng.uniform(0, 300, size=(40, 2))
+        b = rng.uniform(0, 300, size=(40, 2))
+        ga = store.sharded_grid(a, 5.0, 2)
+        store.sharded_grid(b, 5.0, 2)  # evicts a
+        misses_before = store.grid_misses
+        ga2 = store.sharded_grid(a, 5.0, 2)  # rebuild, not a hit
+        assert store.grid_misses == misses_before + 1
+        assert ga2 is not ga
+        probe = rng.uniform(0, 300, size=(64, 2))
+        np.testing.assert_array_equal(
+            ga.covered_mask(probe, 5.0), ga2.covered_mask(probe, 5.0)
+        )
+        # and the re-inserted build is served from the store again
+        assert store.sharded_grid(a, 5.0, 2) is ga2
+
+    def test_eviction_never_breaks_live_grids(self):
+        """A grid evicted from the store keeps answering: the store
+        holds builds, it does not own them."""
+        rng = np.random.default_rng(33)
+        store = ShardStore(max_grids=1, max_shards=2)
+        a = rng.uniform(0, 300, size=(48, 2))
+        ga = store.sharded_grid(a, 5.0, 2)
+        for _ in range(4):  # churn the store well past both caps
+            store.sharded_grid(rng.uniform(0, 300, size=(48, 2)), 5.0, 2)
+        probe = rng.uniform(0, 300, size=(64, 2))
+        np.testing.assert_array_equal(
+            ga.covered_mask(probe, 5.0),
+            StopSet(a).covered_mask(probe, 5.0),
+        )
+
+    def test_sharing_across_views_of_one_buffer(self):
+        """Facilities whose stop arrays are views of the same buffer —
+        equal slices, or a strided view vs. its materialised copy —
+        share one build: content addressing sees values, not layout."""
+        rng = np.random.default_rng(34)
+        buffer = rng.uniform(0, 300, size=(200, 2))
+        store = ShardStore()
+        g1 = store.sharded_grid(buffer[:120], 5.0, 2)
+        g2 = store.sharded_grid(buffer[:120], 5.0, 2)  # same view again
+        assert g2 is g1
+        assert store.grid_hits == 1
+        # a non-contiguous view and its contiguous copy are one build too
+        strided = buffer[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        g3 = store.sharded_grid(strided, 5.0, 2)
+        g4 = store.sharded_grid(np.ascontiguousarray(strided), 5.0, 2)
+        assert g4 is g3
+        probe = rng.uniform(0, 300, size=(64, 2))
+        np.testing.assert_array_equal(
+            g3.covered_mask(probe, 5.0),
+            StopSet(strided).covered_mask(probe, 5.0),
+        )
+
+    def test_overlapping_views_share_shard_slices(self):
+        """Two facilities slicing one buffer share interned shards where
+        their sorted layouts coincide, and evicted slices re-intern."""
+        rng = np.random.default_rng(35)
+        base = np.sort(rng.uniform(0, 400, size=(160, 2)), axis=0)
+        store = ShardStore(max_grids=8, max_shards=2)
+        store.sharded_grid(base[:100], 5.0, 1)
+        hits_before = store.shard_hits
+        store.sharded_grid(base[:100], 5.0, 2)
+        # the 2-shard cut of an identical stop set reuses at least the
+        # grid build; slice interning shows up as shard hits when cuts
+        # coincide with the 1-shard slice
+        assert store.grid_misses >= 2
+        assert store.shard_hits >= hits_before
+        # churn past max_shards: interning stays bounded and recoverable
+        for i in range(4):
+            store.sharded_grid(base[: 40 + i * 20], 5.0, 2)
+        assert len(store._shards) <= 2
+
+
 @pytest.mark.engine_smoke
 def test_sharded_smoke(taxi_users, facilities):
     """Fast sharded-vs-oracle smoke check (runs in the default suite)."""
