@@ -24,7 +24,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import WorkloadFactory, scaled, time_call
+from repro.bench.harness import WorkloadFactory, host_metadata, scaled, time_call
 from repro.core.config import ProximityBackend
 from repro.core.service import ServiceModel, ServiceSpec
 from repro.engine import BatchQueryEngine
@@ -86,6 +86,7 @@ def main(out_path: str = None) -> dict:
     factory = WorkloadFactory()
     users = factory.taxi_users(_USER_DAYS)
     report = {
+        "host": host_metadata(),
         "workload": {
             "n_users": scaled(int(12_000 * _USER_DAYS)),
             "n_facilities": _N_FACILITIES,

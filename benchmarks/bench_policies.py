@@ -34,7 +34,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import WorkloadFactory, scaled, time_call
+from repro.bench.harness import WorkloadFactory, host_metadata, scaled, time_call
 from repro.core.config import ProximityBackend, RuntimeConfig, auto_shard_count
 from repro.core.service import ServiceModel, ServiceSpec
 from repro.engine import BatchQueryEngine
@@ -115,6 +115,7 @@ def main(out_path: str = None) -> dict:
     import multiprocessing
 
     report = {
+        "host": host_metadata(),
         "workload": {
             "n_users": scaled(_N_TRACE_USERS),
             "n_probe_points": n_probe_points,

@@ -1,0 +1,265 @@
+"""Serving-layer benchmark: concurrent mixed workloads with coalescing.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_service.py`` — a small pytest-benchmark
+  smoke series so CI exercises the asyncio service path regularly;
+* ``PYTHONPATH=src python -m benchmarks.bench_service`` — standalone
+  harness run on the acceptance workload: 64 concurrent mixed requests
+  (the three evaluate service models plus a kMaxRRST and a MaxkCov per
+  batch) at request-overlap factors {0, 0.5, 0.9}, verifying
+  **in-harness** that every service answer equals the direct
+  synchronous call, and recording throughput and the probe-dedup rate
+  in ``BENCH_service.json`` at the repository root.
+
+What the numbers mean: the *overlap factor* controls how many distinct
+facilities the 64 requests draw from (overlap 0 → every evaluate names
+its own facility; overlap 0.9 → ~6 facilities serve the whole batch).
+Overlapping requests share probe units, so the service coalesces them:
+later requests ride the masks and match sets the first request for
+each unit computed, and ``dedup_rate`` reports the fraction of planned
+probe units served that way.  ``service_seconds`` vs
+``sequential_seconds`` compares the concurrent service schedule to the
+same requests called synchronously in submission order against an
+identically configured runtime — on a single-core box the service can
+only add scheduling overhead on disjoint workloads (the parity checks
+are the point there); the coalescing win shows up as overlap grows and
+on multi-core hosts, whose fingerprint the ``host`` block records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import WorkloadFactory, host_metadata, time_call
+from repro.core.config import (
+    ProximityBackend,
+    RuntimeConfig,
+    ServiceConfig,
+)
+from repro.core.service import ServiceModel, ServiceSpec
+from repro.queries.evaluate import evaluate_service
+from repro.queries.kmaxrrst import top_k_facilities
+from repro.queries.maxkcov import maxkcov_tq
+from repro.runtime import QueryRuntime
+from repro.service import (
+    EvaluateRequest,
+    KMaxRRSTRequest,
+    MaxKCovRequest,
+    QueryService,
+)
+
+from .conftest import run_once
+
+#: The acceptance workload.
+N_REQUESTS = 64
+OVERLAP_FACTORS = (0.0, 0.5, 0.9)
+PSI = 300.0
+_N_USERS = 1_500
+_N_FACILITY_POOL = 64
+_N_STOPS = 24
+_MODELS = (ServiceModel.COUNT, ServiceModel.ENDPOINT, ServiceModel.LENGTH)
+
+
+def _runtime() -> QueryRuntime:
+    return QueryRuntime(
+        RuntimeConfig(
+            backend=ProximityBackend.GRID, policy="threads", shards=0,
+            max_workers=None,
+        )
+    )
+
+
+def _requests(tree, facilities, n_requests: int, overlap: float):
+    """A mixed batch whose facility reuse is set by ``overlap``.
+
+    ``overlap`` is the fraction of requests that re-use a facility
+    another request in the batch also names: the evaluate requests draw
+    round-robin from a pool of ``round(n * (1 - overlap))`` facilities.
+    The final two requests are a kMaxRRST and a MaxkCov over the first
+    eight facilities, so every batch mixes all request shapes.
+    """
+    n_evaluate = n_requests - 2
+    pool_size = max(1, round(n_evaluate * (1.0 - overlap)))
+    pool = [facilities[i % len(facilities)] for i in range(pool_size)]
+    requests = [
+        EvaluateRequest(
+            tree,
+            pool[i % pool_size],
+            ServiceSpec(_MODELS[i % len(_MODELS)], psi=PSI),
+        )
+        for i in range(n_evaluate)
+    ]
+    head = tuple(facilities[:8])
+    spec = ServiceSpec(ServiceModel.ENDPOINT, psi=PSI)
+    requests.append(KMaxRRSTRequest(tree, head, 3, spec))
+    requests.append(MaxKCovRequest(tree, head, 2, spec))
+    return requests
+
+
+def _sequential(requests, runtime):
+    """The direct synchronous calls, submission order, shared runtime."""
+    values = []
+    for req in requests:
+        if isinstance(req, EvaluateRequest):
+            values.append(
+                evaluate_service(
+                    req.tree, req.facility, req.spec, runtime=runtime
+                )
+            )
+        elif isinstance(req, KMaxRRSTRequest):
+            values.append(
+                top_k_facilities(
+                    req.tree, req.facilities, req.k, req.spec, runtime=runtime
+                ).ranking
+            )
+        else:
+            result = maxkcov_tq(
+                req.tree, req.facilities, req.k, req.spec,
+                req.prune_factor, runtime=runtime,
+            )
+            values.append((result.facility_ids(), result.combined_service))
+    return values
+
+
+def _service_values(results):
+    values = []
+    for res in results:
+        if isinstance(res.request, EvaluateRequest):
+            values.append(res.value)
+        elif isinstance(res.request, KMaxRRSTRequest):
+            values.append(res.value.ranking)
+        else:
+            values.append(
+                (res.value.facility_ids(), res.value.combined_service)
+            )
+    return values
+
+
+def _drive(requests, runtime):
+    async def main():
+        async with QueryService(
+            runtime, ServiceConfig(max_in_flight=8, queue_depth=N_REQUESTS)
+        ) as service:
+            results = await service.run(requests)
+            return results, service.stats
+
+    return asyncio.run(main())
+
+
+@pytest.mark.engine_smoke
+@pytest.mark.parametrize("overlap", OVERLAP_FACTORS)
+def test_service_smoke_sweep(benchmark, factory, overlap):
+    """Small smoke series so CI sees the service path regularly."""
+    users = factory.taxi_users(0.1)
+    tree = factory.tq_tree(users)
+    facilities = factory.facilities(16, 12)
+    requests = _requests(tree, facilities, 16, overlap)
+
+    def fn():
+        with _runtime() as runtime:
+            results, _ = _drive(requests, runtime)
+        return len(results)
+
+    run_once(benchmark, fn)
+    benchmark.extra_info.update({"figure": "service", "series": f"overlap{overlap}"})
+
+
+def main(out_path: str = None) -> dict:
+    """Measure the sweep, verify parity, write ``BENCH_service.json``."""
+    factory = WorkloadFactory()
+    users = factory.taxi_users(_N_USERS / 12_000)
+    tree = factory.tq_tree(users)
+    facilities = factory.facilities(_N_FACILITY_POOL, _N_STOPS)
+    report = {
+        "host": host_metadata(),
+        "workload": {
+            "n_users": len(users),
+            "n_requests": N_REQUESTS,
+            "facility_pool": _N_FACILITY_POOL,
+            "n_stops": _N_STOPS,
+            "psi": PSI,
+            "mix": "evaluate x3 models + kMaxRRST + MaxkCov",
+        },
+        "rows": [],
+    }
+    for overlap in OVERLAP_FACTORS:
+        requests = _requests(tree, facilities, N_REQUESTS, overlap)
+
+        # parity first: the service answers must equal the direct calls
+        with _runtime() as runtime:
+            expected = _sequential(requests, runtime)
+        with _runtime() as runtime:
+            results, service_stats = _drive(requests, runtime)
+        got = _service_values(results)
+        if got != expected:
+            raise AssertionError(
+                f"service answers diverge from direct calls at "
+                f"overlap={overlap}"
+            )
+
+        # timing: fresh runtime per pass so each leg pays its own masks
+        def sequential_pass():
+            with _runtime() as runtime:
+                return _sequential(requests, runtime)
+
+        def service_pass():
+            with _runtime() as runtime:
+                return _drive(requests, runtime)
+
+        _, sequential_s = time_call(sequential_pass, repeats=3)
+        _, service_s = time_call(service_pass, repeats=3)
+        report["rows"].append(
+            {
+                "overlap": overlap,
+                "n_requests": N_REQUESTS,
+                "sequential_seconds": sequential_s,
+                "service_seconds": service_s,
+                "service_vs_sequential": sequential_s / service_s,
+                "throughput_rps": N_REQUESTS / service_s,
+                "probe_units_planned": service_stats.probe_units_planned,
+                "probe_units_coalesced": service_stats.probe_units_coalesced,
+                "dedup_rate": service_stats.dedup_rate,
+                "answers_equal": True,
+            }
+        )
+    target = (
+        Path(out_path)
+        if out_path
+        else Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    )
+    report["claim"] = {
+        "description": (
+            "asyncio QueryService vs direct synchronous calls, 64 "
+            "concurrent mixed requests per batch; answers verified "
+            "equal in-harness for every row; dedup_rate is the "
+            "fraction of probe units served from coalesced in-flight "
+            "work"
+        ),
+        "dedup_rate_by_overlap": {
+            str(r["overlap"]): r["dedup_rate"] for r in report["rows"]
+        },
+        "throughput_rps_range": [
+            min(r["throughput_rps"] for r in report["rows"]),
+            max(r["throughput_rps"] for r in report["rows"]),
+        ],
+    }
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {target}")
+    for r in report["rows"]:
+        print(
+            f"  overlap={r['overlap']}: service {r['service_seconds']*1e3:.1f}ms "
+            f"({r['throughput_rps']:.0f} req/s, "
+            f"{r['service_vs_sequential']:.2f}x vs sequential), "
+            f"dedup {r['probe_units_coalesced']}/{r['probe_units_planned']} "
+            f"({r['dedup_rate']:.2f})"
+        )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import WorkloadFactory, scaled, time_call
+from repro.bench.harness import WorkloadFactory, host_metadata, scaled, time_call
 from repro.core.config import ProximityBackend, RuntimeConfig, auto_shard_count
 from repro.core.service import ServiceModel, ServiceSpec
 from repro.engine import BatchQueryEngine
@@ -106,6 +106,7 @@ def main(out_path: str = None) -> dict:
     users = factory.geolife_users(_N_TRACE_USERS)
     n_probe_points = int(sum(u.n_points for u in users))
     report = {
+        "host": host_metadata(),
         "workload": {
             "n_users": scaled(_N_TRACE_USERS),
             "n_probe_points": n_probe_points,

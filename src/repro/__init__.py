@@ -112,6 +112,18 @@ from .queries import (
     maxkcov_tq,
     top_k_facilities,
 )
+from .service import (
+    EvaluateRequest,
+    ExactMaxKCovRequest,
+    GeneticMaxKCovRequest,
+    KMaxRRSTRequest,
+    MaxKCovRequest,
+    QueryResult,
+    QueryService,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -147,6 +159,17 @@ __all__ = [
     "RuntimeConfig",
     "SHARDS_AUTO",
     "auto_shard_count",
+    # serving layer
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceOverloaded",
+    "QueryResult",
+    "EvaluateRequest",
+    "KMaxRRSTRequest",
+    "MaxKCovRequest",
+    "ExactMaxKCovRequest",
+    "GeneticMaxKCovRequest",
     # oracles
     "score_trajectory",
     "brute_force_service",

@@ -15,11 +15,16 @@ selects how exact ``psi``-distance checks are executed at query time:
 the dense all-pairs broadcast (the reference oracle path) or the uniform
 stop grid of :mod:`repro.engine` (``AUTO`` picks per stop set).
 :class:`ExecutionPolicy` selects how sharded probes are *scheduled* —
-serially, over a thread pool, or over a process pool with shared-memory
-shard views.  :class:`RuntimeConfig` bundles backend, policy, sharding,
-and worker settings consumed by :class:`repro.runtime.QueryRuntime` —
-none of these knobs ever changes a query answer, only how the geometric
-work is scheduled.
+serially, over a thread pool, over a process pool with shared-memory
+shard views, or adaptively (``AUTO`` picks per probe block).
+:class:`RuntimeConfig` bundles backend, policy, sharding, and worker
+settings consumed by :class:`repro.runtime.QueryRuntime` — none of
+these knobs ever changes a query answer, only how the geometric work is
+scheduled.  :class:`ServiceConfig` sits one level up: it bounds the
+asyncio serving layer (:class:`repro.service.QueryService`) — how many
+requests execute concurrently, how long the service holds a request
+open for cross-request coalescing, and how deep the admission queue may
+grow before submissions are rejected.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ __all__ = [
     "ExecutionPolicy",
     "TQTreeConfig",
     "RuntimeConfig",
+    "ServiceConfig",
     "SHARDS_AUTO",
     "auto_shard_count",
     "resolve_shard_count",
@@ -88,6 +94,14 @@ class ExecutionPolicy(enum.Enum):
     ``multiprocessing.shared_memory`` and workers reconstruct zero-copy
     views, so the coordinator scales past the GIL entirely."""
 
+    AUTO = "auto"
+    """Pick per probe block: serial for small blocks (scheduling
+    overhead would exceed the win) and thread fan-out for large ones
+    (:class:`~repro.runtime.policies.AutoPolicyExecutor` — the
+    scheduling-axis analogue of :attr:`ProximityBackend.AUTO`).
+    Bit-identical to whichever policy it delegates to, like every other
+    policy choice."""
+
 
 #: Start methods ``multiprocessing`` knows; ``None`` keeps the platform
 #: default (fork on Linux, spawn on macOS/Windows).
@@ -138,8 +152,9 @@ class RuntimeConfig:
         How exact ``psi``-distance checks run (never changes answers).
     policy:
         How sharded probes are scheduled (:class:`ExecutionPolicy` or
-        its string value): ``"serial"``, ``"threads"`` (default), or
-        ``"processes"``.  Never changes answers either.
+        its string value): ``"serial"``, ``"threads"`` (default),
+        ``"processes"``, or ``"auto"`` (serial for small probe blocks,
+        thread fan-out for large ones).  Never changes answers either.
     shards:
         Grid shard count for stop sets the runtime dresses:
         :data:`SHARDS_AUTO` picks per stop set via
@@ -188,6 +203,55 @@ class RuntimeConfig:
             raise QueryError(
                 f"unknown start method: {self.start_method!r} (choose "
                 f"from {_START_METHODS})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Admission and coalescing settings for
+    :class:`repro.service.QueryService`.
+
+    Like every other execution knob, none of these settings changes a
+    query answer — they bound *when* a request's work runs, never what
+    it computes.
+
+    Parameters
+    ----------
+    max_in_flight:
+        How many request cores may execute concurrently on the
+        service's bridge pool.  Requests beyond the bound wait admitted
+        (queued) but unscheduled.  Must be >= 1.
+    coalesce_window:
+        Seconds an admitted request is held open before execution so
+        later submissions can coalesce onto its probe units (share the
+        same facility/psi/mode work through the runtime's coverage
+        cache and shard store).  ``0.0`` (default) executes immediately
+        — requests submitted together in one event-loop tick still
+        coalesce, because probe units are registered synchronously at
+        submission.
+    queue_depth:
+        Upper bound on requests admitted at once (queued plus running).
+        A submission past the bound fails fast with
+        :class:`~repro.core.errors.ServiceOverloaded` instead of
+        growing the queue without limit.  Must be >= 1.
+    """
+
+    max_in_flight: int = 8
+    coalesce_window: float = 0.0
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise QueryError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if not self.coalesce_window >= 0.0:  # also rejects NaN
+            raise QueryError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if self.queue_depth < 1:
+            raise QueryError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
             )
 
 

@@ -44,5 +44,15 @@ class QueryError(ReproError):
     """
 
 
+class ServiceOverloaded(QueryError):
+    """Raised by :class:`repro.service.QueryService` when a submission
+    would exceed the configured admission-queue depth.
+
+    Subclasses :class:`QueryError` so existing "invalid query" handlers
+    keep working; callers that want load-shedding behaviour (retry with
+    backoff, spill to another service) catch this type specifically.
+    """
+
+
 class DatasetError(ReproError):
     """Raised by synthetic dataset generators and the CSV I/O layer."""

@@ -27,10 +27,23 @@ garbage collection nor two facilities sharing a ``facility_id`` can
 alias to a wrong cached answer; a failed verification is simply a
 miss.  A cache is only valid for a fixed user set / tree: drop it (or
 :meth:`clear`) when the underlying data changes.
+
+**Thread safety.**  A cache shared by a :class:`repro.service
+.QueryService` is read and written from the service's bridge threads
+concurrently, so every table access and counter update happens under
+one internal lock (entries themselves are immutable once stored, so
+serving a reference outside the lock is safe).  The lock covers the
+bookkeeping only: the expensive work a miss triggers — probe kernels,
+``match_fn`` bodies — runs outside it, so concurrent misses on
+*different* keys still overlap.  Concurrent misses on the *same* key
+both compute and the last store wins — identical content either way;
+the service avoids even the duplicated work by serialising requests
+that share probe units (see ``repro.service``).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
 
 import numpy as np
@@ -48,6 +61,7 @@ class CoverageCache:
         self._match_fns: Dict[int, Callable] = {}
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Algorithm-2 node results
@@ -62,12 +76,14 @@ class CoverageCache:
         components differ, so they miss instead of aliasing) while
         still hitting across re-walks, which rebuild equal-valued
         component objects."""
-        entry = self._nodes.get(key)
+        with self._lock:
+            entry = self._nodes.get(key)
         if entry is None or entry[0] is not node:
             return None
         if not np.array_equal(entry[1], stop_coords):
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return entry[2], entry[3]
 
     def store_node(
@@ -78,8 +94,9 @@ class CoverageCache:
         candidates: list,
         mask: np.ndarray,
     ) -> None:
-        self.misses += 1
-        self._nodes[key] = (node, stop_coords, candidates, mask)
+        with self._lock:
+            self.misses += 1
+            self._nodes[key] = (node, stop_coords, candidates, mask)
 
     # ------------------------------------------------------------------
     # per-facility match sets
@@ -104,25 +121,31 @@ class CoverageCache:
         """
         if getattr(match_fn, "_coverage_cache", None) is self:
             return match_fn
-        if key is None:
-            # entries key on id(match_fn): pin it so the allocator
-            # cannot recycle that id while the cache can serve them
-            self._match_fns[id(match_fn)] = match_fn
-            scope: Hashable = ("fn", id(match_fn))
-        else:
-            if pin is not None:
-                self._match_fns[id(pin)] = pin
-            scope = ("sem", key)
+        with self._lock:
+            if key is None:
+                # entries key on id(match_fn): pin it so the allocator
+                # cannot recycle that id while the cache can serve them
+                self._match_fns[id(match_fn)] = match_fn
+                scope: Hashable = ("fn", id(match_fn))
+            else:
+                if pin is not None:
+                    self._match_fns[id(pin)] = pin
+                scope = ("sem", key)
 
         def fn(facility):
             entry_key = (scope, facility.facility_id)
-            entry = self._matches.get(entry_key)
-            if entry is not None and entry[0] is facility:
-                self.hits += 1
-                return entry[1]
+            with self._lock:
+                entry = self._matches.get(entry_key)
+                if entry is not None and entry[0] is facility:
+                    self.hits += 1
+                    return entry[1]
+            # compute outside the lock: match_fn re-enters the cache
+            # through lookup_node/store_node, and holding the lock here
+            # would serialise every concurrent miss on the whole cache
             matches = match_fn(facility)
-            self._matches[entry_key] = (facility, matches)
-            self.misses += 1
+            with self._lock:
+                self._matches[entry_key] = (facility, matches)
+                self.misses += 1
             return matches
 
         fn._coverage_cache = self  # type: ignore[attr-defined]
@@ -138,24 +161,28 @@ class CoverageCache:
         the probe ``block`` it was computed over, verified by identity
         (a cache shared between engines with different user sets must
         miss, not serve a mask of the wrong length/meaning)."""
-        entry = self._masks.get((id(owner), psi, id(block)))
-        if entry is None or entry[0] is not owner or entry[1] is not block:
-            return None
-        self.hits += 1
-        return entry[2]
+        with self._lock:
+            entry = self._masks.get((id(owner), psi, id(block)))
+            if entry is None or entry[0] is not owner or entry[1] is not block:
+                return None
+            self.hits += 1
+            return entry[2]
 
     def store_mask(
         self, owner: Any, psi: float, block: np.ndarray, mask: np.ndarray
     ) -> None:
-        self.misses += 1
-        self._masks[(id(owner), psi, id(block))] = (owner, block, mask)
+        with self._lock:
+            self.misses += 1
+            self._masks[(id(owner), psi, id(block))] = (owner, block, mask)
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        self._nodes.clear()
-        self._matches.clear()
-        self._masks.clear()
-        self._match_fns.clear()
+        with self._lock:
+            self._nodes.clear()
+            self._matches.clear()
+            self._masks.clear()
+            self._match_fns.clear()
 
     def __len__(self) -> int:
-        return len(self._nodes) + len(self._matches) + len(self._masks)
+        with self._lock:
+            return len(self._nodes) + len(self._matches) + len(self._masks)

@@ -43,6 +43,7 @@ only cause a miss, never a wrong answer.
 from __future__ import annotations
 
 import hashlib
+import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -229,10 +230,18 @@ class ShardStore:
     before serving it, so aliasing through a hash collision is
     impossible — a collision is simply a miss.  Entries are keyed purely
     by content, so a store can be shared freely across facilities,
-    runtimes, and threads that build sequentially; retention is bounded
-    (oldest-first eviction past ``max_grids`` / ``max_shards``), which
-    keeps a service-style runtime's memory flat across an unbounded
-    query stream.
+    runtimes, and threads; retention is bounded (oldest-first eviction
+    past ``max_grids`` / ``max_shards``), which keeps a service-style
+    runtime's memory flat across an unbounded query stream.
+
+    Both public methods run under one reentrant lock (``sharded_grid``
+    builds grids that intern their slices back through the same store),
+    so concurrent callers — the service's bridge threads dressing stop
+    sets at once — get the single-builder guarantee: the first request
+    for a given content builds, everyone else shares the built object.
+    Grid/shard construction is pure CPU on immutable inputs, so holding
+    the lock across a build trades a little concurrency for an
+    invariant the tests can state exactly (one build per content).
     """
 
     def __init__(
@@ -248,6 +257,7 @@ class ShardStore:
         self.grid_misses = 0
         self.shard_hits = 0
         self.shard_misses = 0
+        self._lock = threading.RLock()
 
     @staticmethod
     def _evict_oldest(table: Dict, cap: int) -> None:
@@ -272,15 +282,18 @@ class ShardStore:
             int(n_shards),
             None if cell_size is None else float(cell_size),
         )
-        hit = self._grids.get(key)
-        if hit is not None and np.array_equal(hit.coords, arr):
-            self.grid_hits += 1
-            return hit
-        self.grid_misses += 1
-        grid = ShardedStopGrid(arr, psi, n_shards, cell_size=cell_size, store=self)
-        self._grids[key] = grid
-        self._evict_oldest(self._grids, self.max_grids)
-        return grid
+        with self._lock:
+            hit = self._grids.get(key)
+            if hit is not None and np.array_equal(hit.coords, arr):
+                self.grid_hits += 1
+                return hit
+            self.grid_misses += 1
+            grid = ShardedStopGrid(
+                arr, psi, n_shards, cell_size=cell_size, store=self
+            )
+            self._grids[key] = grid
+            self._evict_oldest(self._grids, self.max_grids)
+            return grid
 
     def intern_shard(self, keys: np.ndarray, coords: np.ndarray) -> StopShard:
         """The shard for this exact (keys, coords) slice, built once.
@@ -290,27 +303,30 @@ class ShardStore:
         coordinates, so any grid requesting identical content can share
         the object (this is how overlapping stop sets share shards)."""
         key = (keys.size, _content_digest(keys), _content_digest(coords))
-        hit = self._shards.get(key)
-        if (
-            hit is not None
-            and np.array_equal(hit.keys, keys)
-            and np.array_equal(hit.coords, coords)
-        ):
-            self.shard_hits += 1
-            return hit
-        self.shard_misses += 1
-        shard = StopShard(keys, coords)
-        self._shards[key] = shard
-        self._evict_oldest(self._shards, self.max_shards)
-        return shard
+        with self._lock:
+            hit = self._shards.get(key)
+            if (
+                hit is not None
+                and np.array_equal(hit.keys, keys)
+                and np.array_equal(hit.coords, coords)
+            ):
+                self.shard_hits += 1
+                return hit
+            self.shard_misses += 1
+            shard = StopShard(keys, coords)
+            self._shards[key] = shard
+            self._evict_oldest(self._shards, self.max_shards)
+            return shard
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        self._grids.clear()
-        self._shards.clear()
+        with self._lock:
+            self._grids.clear()
+            self._shards.clear()
 
     def __len__(self) -> int:
-        return len(self._grids) + len(self._shards)
+        with self._lock:
+            return len(self._grids) + len(self._shards)
 
 
 class ShardedStopGrid:

@@ -59,6 +59,7 @@ from .components import FacilityComponent, intersecting_components
 __all__ = [
     "QueryStats",
     "MatchCollector",
+    "evaluate_core",
     "evaluate_service",
     "evaluate_node_trajectories",
     "needs_ancestor_scan",
@@ -383,6 +384,37 @@ def evaluate_node_trajectories(
     return _aggregate_candidates(candidates, mask, spec, collector)
 
 
+def evaluate_core(
+    tree: TQTree,
+    facility: FacilityRoute,
+    spec: ServiceSpec,
+    collector: Optional[MatchCollector] = None,
+    runtime: Optional[QueryRuntime] = None,
+) -> Tuple[float, QueryStats]:
+    """The pure step behind :func:`evaluate_service`: Algorithm 1's
+    divide-and-conquer, returning ``(service value, work counters)``
+    without touching any shared state beyond the runtime's caches.
+
+    This is the planner-consumable form — :class:`repro.service
+    .QueryPlanner` lowers an ``EvaluateRequest`` onto it directly, and
+    the synchronous :func:`evaluate_service` wrapper adds only runtime
+    coercion and stats accrual on top.  One execution substrate, two
+    entrypoints: both paths run this exact function, which is why the
+    service's answers and per-request stats are bit-identical to the
+    direct calls by construction.
+    """
+    tree.validate_spec(spec)
+    local = QueryStats()
+    whole = FacilityComponent.whole(facility, spec.psi)
+    if runtime is not None:
+        whole = whole.with_stops(runtime.stop_set(whole.stops, spec.psi))
+    component = whole.restricted_to(tree.root.box)
+    so = _evaluate_rec(
+        tree, tree.root, component, spec, collector, local, runtime
+    )
+    return so, local
+
+
 def evaluate_service(
     tree: TQTree,
     facility: FacilityRoute,
@@ -403,22 +435,14 @@ def evaluate_service(
     per-(facility, node) coverage in its cache, and accrues this
     evaluation's work into its grand total.  ``backend`` / ``cache`` are
     the deprecated pre-runtime spellings.
+
+    A thin synchronous wrapper over :func:`evaluate_core` — the same
+    substrate the async :class:`repro.service.QueryService` executes.
     """
     runtime = coerce_runtime(runtime, backend, cache)
-    tree.validate_spec(spec)
-    whole = FacilityComponent.whole(facility, spec.psi)
-    if runtime is None:
-        component = whole.restricted_to(tree.root.box)
-        return _evaluate_rec(
-            tree, tree.root, component, spec, collector, stats, None
-        )
-    whole = whole.with_stops(runtime.stop_set(whole.stops, spec.psi))
-    component = whole.restricted_to(tree.root.box)
-    local = QueryStats()
-    so = _evaluate_rec(
-        tree, tree.root, component, spec, collector, local, runtime
-    )
-    runtime.accrue(local)
+    so, local = evaluate_core(tree, facility, spec, collector, runtime)
+    if runtime is not None:
+        runtime.accrue(local)
     if stats is not None:
         stats.merge(local)
     return so

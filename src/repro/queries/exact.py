@@ -28,7 +28,7 @@ from ..core.trajectory import FacilityRoute, Trajectory
 from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult, greedy_max_k_coverage
 
-__all__ = ["exact_max_k_coverage", "approximation_ratio"]
+__all__ = ["exact_core", "exact_max_k_coverage", "approximation_ratio"]
 
 
 def _merge(into: Dict[int, Set[int]], matches: Matches) -> None:
@@ -36,23 +36,20 @@ def _merge(into: Dict[int, Set[int]], matches: Matches) -> None:
         into.setdefault(tid, set()).update(idx)
 
 
-def exact_max_k_coverage(
+def exact_core(
     users: Sequence[Trajectory],
     facilities: Sequence[FacilityRoute],
     k: int,
     spec: ServiceSpec,
     match_fn: MatchFn,
-    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
-    """The optimal size-k subset under combined-coverage semantics.
-
-    Exponential in the worst case — intended for the small instances used
-    to report approximation ratios.  A ``runtime`` dedupes ``match_fn``
-    calls against other solvers sharing its cache (greedy, genetic,
-    repeats); ``cache`` is the deprecated pre-runtime spelling.
+    """The pure step behind :func:`exact_max_k_coverage`: the
+    branch-and-bound search itself, runtime used only to dedupe
+    ``match_fn`` calls through its cache.  Planner-consumable —
+    :class:`repro.service.QueryPlanner` lowers an
+    ``ExactMaxKCovRequest`` onto this with a stats-collecting match fn.
     """
-    runtime = coerce_runtime(runtime, None, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     if not facilities:
@@ -125,6 +122,29 @@ def exact_max_k_coverage(
         final.users_fully_served(),
         tuple(gains),
     )
+
+
+def exact_max_k_coverage(
+    users: Sequence[Trajectory],
+    facilities: Sequence[FacilityRoute],
+    k: int,
+    spec: ServiceSpec,
+    match_fn: MatchFn,
+    cache=None,
+    runtime: Optional[QueryRuntime] = None,
+) -> MaxKCovResult:
+    """The optimal size-k subset under combined-coverage semantics.
+
+    Exponential in the worst case — intended for the small instances used
+    to report approximation ratios.  A ``runtime`` dedupes ``match_fn``
+    calls against other solvers sharing its cache (greedy, genetic,
+    repeats); ``cache`` is the deprecated pre-runtime spelling.
+
+    A thin synchronous wrapper over :func:`exact_core` — the same
+    substrate the async :class:`repro.service.QueryService` executes.
+    """
+    runtime = coerce_runtime(runtime, None, cache)
+    return exact_core(users, facilities, k, spec, match_fn, runtime)
 
 
 def approximation_ratio(approx: MaxKCovResult, exact: MaxKCovResult) -> float:

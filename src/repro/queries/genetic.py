@@ -25,7 +25,7 @@ from ..core.trajectory import FacilityRoute, Trajectory
 from ..runtime import QueryRuntime, coerce_runtime
 from .maxkcov import MatchFn, Matches, MaxKCovResult
 
-__all__ = ["GeneticConfig", "genetic_max_k_coverage"]
+__all__ = ["GeneticConfig", "genetic_core", "genetic_max_k_coverage"]
 
 
 @dataclass(frozen=True)
@@ -55,25 +55,22 @@ class GeneticConfig:
             raise QueryError("elitism must be in [0, population_size]")
 
 
-def genetic_max_k_coverage(
+def genetic_core(
     users: Sequence[Trajectory],
     facilities: Sequence[FacilityRoute],
     k: int,
     spec: ServiceSpec,
     match_fn: MatchFn,
     config: GeneticConfig = GeneticConfig(),
-    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> MaxKCovResult:
-    """Approximate MaxkCovRST with a generational GA.
-
-    Chromosomes are k-subsets of facility indices.  Returns the best
-    subset seen across all generations (elitism preserves it within the
-    population as well).  A ``runtime`` dedupes ``match_fn`` calls
-    against other solvers sharing its cache; ``cache`` is the deprecated
-    pre-runtime spelling.
+    """The pure step behind :func:`genetic_max_k_coverage`: the seeded
+    generational GA itself, runtime used only to dedupe ``match_fn``
+    calls through its cache.  Deterministic for a fixed
+    ``config.seed``, so the service path reproduces the synchronous
+    answer exactly.  Planner-consumable — :class:`repro.service
+    .QueryPlanner` lowers a ``GeneticMaxKCovRequest`` onto this.
     """
-    runtime = coerce_runtime(runtime, None, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     if not facilities:
@@ -149,3 +146,28 @@ def genetic_max_k_coverage(
         state.users_fully_served(),
         tuple(gains),
     )
+
+
+def genetic_max_k_coverage(
+    users: Sequence[Trajectory],
+    facilities: Sequence[FacilityRoute],
+    k: int,
+    spec: ServiceSpec,
+    match_fn: MatchFn,
+    config: GeneticConfig = GeneticConfig(),
+    cache=None,
+    runtime: Optional[QueryRuntime] = None,
+) -> MaxKCovResult:
+    """Approximate MaxkCovRST with a generational GA.
+
+    Chromosomes are k-subsets of facility indices.  Returns the best
+    subset seen across all generations (elitism preserves it within the
+    population as well).  A ``runtime`` dedupes ``match_fn`` calls
+    against other solvers sharing its cache; ``cache`` is the deprecated
+    pre-runtime spelling.
+
+    A thin synchronous wrapper over :func:`genetic_core` — the same
+    substrate the async :class:`repro.service.QueryService` executes.
+    """
+    runtime = coerce_runtime(runtime, None, cache)
+    return genetic_core(users, facilities, k, spec, match_fn, config, runtime)

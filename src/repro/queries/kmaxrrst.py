@@ -33,7 +33,7 @@ from .evaluate import (
     needs_ancestor_scan,
 )
 
-__all__ = ["FacilityScore", "KMaxRRSTResult", "top_k_facilities"]
+__all__ = ["FacilityScore", "KMaxRRSTResult", "top_k_core", "top_k_facilities"]
 
 
 @dataclass(frozen=True)
@@ -144,32 +144,21 @@ def _relax_state(
     return _State(state.facility, qflist, aserve, hserve)
 
 
-def top_k_facilities(
+def top_k_core(
     tree: TQTree,
     facilities: Sequence[FacilityRoute],
     k: int,
     spec: ServiceSpec,
-    backend=None,
-    cache=None,
     runtime: Optional[QueryRuntime] = None,
 ) -> KMaxRRSTResult:
-    """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
+    """The pure step behind :func:`top_k_facilities`: Algorithms 3/4
+    with early termination, returning the ranking plus this query's own
+    work counters — no accrual into any shared total.
 
-    Returns the exact ranking (service values included) in descending
-    order of service.  ``k`` larger than ``len(facilities)`` returns
-    everything ranked.  ``runtime`` owns the probe path: the exact
-    distance work rides its backend and execution policy without
-    changing the ranking, and the query's work counters accrue into its
-    total; ``backend``/``cache`` are the deprecated pre-runtime
-    spellings.
-
-    Early termination (Section IV-B): every state's ``aserve`` is a lower
-    bound on its final service, so the k-th largest ``aserve`` seen so far
-    is a global threshold — a state whose upper bound ``fserve`` falls
-    strictly below it can never enter the top-k and is dropped instead of
-    being relaxed further.
+    Planner-consumable: :class:`repro.service.QueryPlanner` lowers a
+    ``KMaxRRSTRequest`` onto this directly; the synchronous
+    :func:`top_k_facilities` wrapper adds runtime coercion and accrual.
     """
-    runtime = coerce_runtime(runtime, backend, cache)
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
     tree.validate_spec(spec)
@@ -213,6 +202,39 @@ def top_k_facilities(
         relaxed = _relax_state(tree, state, spec, stats, runtime)
         observe_lower_bound(state.facility.facility_id, relaxed.aserve)
         heapq.heappush(heap, (-relaxed.fserve, next(counter), relaxed))
-    if runtime is not None:
-        runtime.accrue(stats)
     return KMaxRRSTResult(tuple(ranking), stats)
+
+
+def top_k_facilities(
+    tree: TQTree,
+    facilities: Sequence[FacilityRoute],
+    k: int,
+    spec: ServiceSpec,
+    backend=None,
+    cache=None,
+    runtime: Optional[QueryRuntime] = None,
+) -> KMaxRRSTResult:
+    """Answer a kMaxRRST query: the k facilities with maximum ``SO(U, f)``.
+
+    Returns the exact ranking (service values included) in descending
+    order of service.  ``k`` larger than ``len(facilities)`` returns
+    everything ranked.  ``runtime`` owns the probe path: the exact
+    distance work rides its backend and execution policy without
+    changing the ranking, and the query's work counters accrue into its
+    total; ``backend``/``cache`` are the deprecated pre-runtime
+    spellings.
+
+    Early termination (Section IV-B): every state's ``aserve`` is a lower
+    bound on its final service, so the k-th largest ``aserve`` seen so far
+    is a global threshold — a state whose upper bound ``fserve`` falls
+    strictly below it can never enter the top-k and is dropped instead of
+    being relaxed further.
+
+    A thin synchronous wrapper over :func:`top_k_core` — the same
+    substrate the async :class:`repro.service.QueryService` executes.
+    """
+    runtime = coerce_runtime(runtime, backend, cache)
+    result = top_k_core(tree, facilities, k, spec, runtime)
+    if runtime is not None:
+        runtime.accrue(result.stats)
+    return result

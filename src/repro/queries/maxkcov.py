@@ -26,20 +26,23 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import QueryError
 from ..core.service import CoverageState, ServiceSpec
+from ..core.stats import QueryStats
 from ..core.trajectory import FacilityRoute, Trajectory
 from ..index.tqtree import TQTree
 from ..runtime import QueryRuntime, coerce_runtime
 from .baseline import BaselineIndex
-from .evaluate import MatchCollector, evaluate_service
-from .kmaxrrst import top_k_facilities
+from .evaluate import MatchCollector, evaluate_core
+from .kmaxrrst import top_k_core
 
 __all__ = [
     "Matches",
     "MatchFn",
     "MaxKCovResult",
+    "core_match_fn",
     "tq_match_fn",
     "baseline_match_fn",
     "greedy_max_k_coverage",
+    "maxkcov_core",
     "maxkcov_tq",
     "maxkcov_baseline",
 ]
@@ -67,6 +70,45 @@ class MaxKCovResult:
         return tuple(f.facility_id for f in self.selection)
 
 
+def core_match_fn(
+    tree: TQTree,
+    spec: ServiceSpec,
+    runtime: Optional[QueryRuntime] = None,
+    acc: Optional[QueryStats] = None,
+) -> MatchFn:
+    """The pure-step match fn: per-facility match sets via
+    :func:`~repro.queries.evaluate.evaluate_core`.
+
+    Work accounting is explicit instead of ambient: each *computed*
+    facility's counters merge into ``acc`` when one is given (the
+    service's per-request attribution), else accrue into ``runtime``
+    directly (the legacy ambient behaviour :func:`tq_match_fn` keeps).
+    Facilities served from the runtime cache's memoised match sets do
+    no geometric work and so contribute nothing — exactly like the
+    synchronous path.
+
+    With a runtime the fn is wrapped under a *semantic* cache key
+    (tree + spec), so every match fn built for the same tree and spec —
+    sync wrappers, service requests, solver ensembles — shares one set
+    of entries.
+    """
+
+    def fn(facility: FacilityRoute) -> Matches:
+        collector = MatchCollector()
+        _, local = evaluate_core(tree, facility, spec, collector, runtime)
+        if acc is not None:
+            acc.merge(local)
+        elif runtime is not None:
+            runtime.accrue(local)
+        return collector.as_dict()
+
+    if runtime is None:
+        return fn
+    return runtime.cache.cached_match_fn(
+        fn, key=("tq-matches", id(tree), spec), pin=tree
+    )
+
+
 def tq_match_fn(
     tree: TQTree,
     spec: ServiceSpec,
@@ -80,24 +122,11 @@ def tq_match_fn(
     memoises both the per-node coverage and the finished per-facility
     match sets in its cache — results are identical either way.
     ``backend`` / ``cache`` are the deprecated pre-runtime spellings.
+
+    A thin wrapper over :func:`core_match_fn` (ambient accrual form).
     """
     runtime = coerce_runtime(runtime, backend, cache)
-
-    def fn(facility: FacilityRoute) -> Matches:
-        collector = MatchCollector()
-        evaluate_service(
-            tree, facility, spec, collector=collector, runtime=runtime
-        )
-        return collector.as_dict()
-
-    if runtime is None:
-        return fn
-    # a semantic key (not the closure's id): every tq_match_fn built for
-    # the same tree and spec shares entries, so repeated maxkcov_tq /
-    # solver-ensemble calls actually reuse match sets across calls
-    return runtime.cache.cached_match_fn(
-        fn, key=("tq-matches", id(tree), spec), pin=tree
-    )
+    return core_match_fn(tree, spec, runtime)
 
 
 def baseline_match_fn(index: BaselineIndex, spec: ServiceSpec) -> MatchFn:
@@ -157,6 +186,38 @@ def greedy_max_k_coverage(
     )
 
 
+def maxkcov_core(
+    tree: TQTree,
+    facilities: Sequence[FacilityRoute],
+    k: int,
+    spec: ServiceSpec,
+    prune_factor: int = 4,
+    runtime: Optional[QueryRuntime] = None,
+) -> Tuple[MaxKCovResult, QueryStats]:
+    """The pure step behind :func:`maxkcov_tq`: shortlist + greedy,
+    returning ``(result, work counters)`` with no ambient accrual.
+
+    The counters aggregate the kMaxRRST shortlist pass and every match
+    set actually computed (cache-served match sets cost nothing, as in
+    the synchronous path).  Planner-consumable:
+    :class:`repro.service.QueryPlanner` lowers a ``MaxKCovRequest``
+    onto this directly.
+    """
+    if prune_factor < 1:
+        raise QueryError(f"prune_factor must be >= 1, got {prune_factor}")
+    local = QueryStats()
+    k_prime = min(len(facilities), prune_factor * k)
+    shortlist_result = top_k_core(tree, facilities, k_prime, spec, runtime)
+    local.merge(shortlist_result.stats)
+    shortlist = [fs.facility for fs in shortlist_result.ranking]
+    users = list(tree.trajectories())
+    result = greedy_max_k_coverage(
+        users, shortlist, k, spec,
+        core_match_fn(tree, spec, runtime, acc=local),
+    )
+    return result, local
+
+
 def maxkcov_tq(
     tree: TQTree,
     facilities: Sequence[FacilityRoute],
@@ -177,19 +238,15 @@ def maxkcov_tq(
     ``k``, a solver ensemble over the same tree — reuse the per-node
     coverage and match sets already computed (the answer is unchanged).
     ``backend``/``cache`` are the deprecated pre-runtime spellings.
+
+    A thin synchronous wrapper over :func:`maxkcov_core` — the same
+    substrate the async :class:`repro.service.QueryService` executes.
     """
     runtime = coerce_runtime(runtime, backend, cache)
-    if prune_factor < 1:
-        raise QueryError(f"prune_factor must be >= 1, got {prune_factor}")
-    k_prime = min(len(facilities), prune_factor * k)
-    shortlist_result = top_k_facilities(
-        tree, facilities, k_prime, spec, runtime=runtime
-    )
-    shortlist = [fs.facility for fs in shortlist_result.ranking]
-    users = list(tree.trajectories())
-    return greedy_max_k_coverage(
-        users, shortlist, k, spec, tq_match_fn(tree, spec, runtime=runtime)
-    )
+    result, local = maxkcov_core(tree, facilities, k, spec, prune_factor, runtime)
+    if runtime is not None:
+        runtime.accrue(local)
+    return result
 
 
 def maxkcov_baseline(

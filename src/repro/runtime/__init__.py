@@ -8,11 +8,13 @@ which mechanism each stop set rides, shares the coverage cache and shard
 store across queries, accrues work counters into a service-level total,
 and owns the worker pool that sharded probes fan out over.
 
-Layering: ``core`` → ``engine`` → ``runtime`` → ``queries``.  The engine
-never imports the runtime (``BatchQueryEngine`` accepts a runtime object
-duck-typed); the query layer accepts ``runtime=`` everywhere and keeps
-its old ``backend=`` / ``cache=`` keywords as deprecated shims through
-:func:`coerce_runtime`.
+Layering: ``core`` → ``engine`` → ``runtime`` → ``queries`` →
+``service``.  The engine never imports the runtime (``BatchQueryEngine``
+accepts a runtime object duck-typed); the query layer accepts
+``runtime=`` everywhere and keeps its old ``backend=`` / ``cache=``
+keywords as deprecated shims through :func:`coerce_runtime`; the
+asyncio serving layer (:mod:`repro.service`) shares one runtime across
+every in-flight request.
 """
 
 from ..core.config import (
@@ -23,6 +25,7 @@ from ..core.config import (
     resolve_shard_count,
 )
 from .policies import (
+    AutoPolicyExecutor,
     PolicyExecutor,
     ProcessPolicyExecutor,
     SerialPolicyExecutor,
@@ -43,5 +46,6 @@ __all__ = [
     "SerialPolicyExecutor",
     "ThreadPolicyExecutor",
     "ProcessPolicyExecutor",
+    "AutoPolicyExecutor",
     "make_policy_executor",
 ]

@@ -73,8 +73,10 @@ __all__ = [
     "SerialPolicyExecutor",
     "ThreadPolicyExecutor",
     "ProcessPolicyExecutor",
+    "AutoPolicyExecutor",
     "make_policy_executor",
     "resolve_worker_count",
+    "AUTO_POLICY_MIN_POINTS",
 ]
 
 #: Cap on the default pool size when ``max_workers`` is ``None``.
@@ -106,6 +108,21 @@ class PolicyExecutor:
         ``probe_shards`` fan-out.  Resolved at query time so stop sets
         dressed before :meth:`close` degrade to serial probing."""
         raise NotImplementedError
+
+    def prepare(self) -> None:
+        """Bring worker resources up *now* instead of on first probe.
+
+        Lazy pool construction is the right default for one-shot
+        runtimes, but a ``fork``-based process pool must not be created
+        from a thread-heavy host: a worker forked while another thread
+        holds a lock (a cache's bookkeeping lock, an allocator lock,
+        numpy internals) inherits it locked forever — the classic
+        multithreaded-fork deadlock.  Multi-threaded hosts (the asyncio
+        :class:`repro.service.QueryService` runs query cores on a
+        bridge pool) call this once while still single-threaded so the
+        fork happens from a clean process.  Default: no-op (serial and
+        thread pools have no fork hazard and stay lazy).
+        """
 
     def close(self) -> None:
         """Release worker resources; ``live()`` returns ``None`` after."""
@@ -291,6 +308,10 @@ def _probe_task(
                 pass
 
 
+def _prepare_noop() -> None:
+    """Worker warm-up task (picklable module-level no-op)."""
+
+
 def _release_export_blocks(
     exports: Dict[int, Tuple[StopShard, List[_SharedBlock], Tuple]]
 ) -> None:
@@ -352,6 +373,25 @@ class ProcessPolicyExecutor(PolicyExecutor):
         if self._closed or self._workers <= 1:
             return None
         return self
+
+    def prepare(self) -> None:
+        """Fork/spawn the worker processes now (see :meth:`PolicyExecutor
+        .prepare`).
+
+        Building the :class:`ProcessPoolExecutor` object is not enough —
+        CPython launches the actual workers on first *submit* — so this
+        runs one no-op task and waits for it: under the fork start
+        method that first submit launches every worker at once, all
+        cloned from the calling thread's clean state.
+        """
+        if self.live() is None:
+            return
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                pool.submit(_prepare_noop).result()
+            except RuntimeError:  # pragma: no cover - closed under us
+                pass
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if not self._pool_built:
@@ -464,10 +504,95 @@ class ProcessPolicyExecutor(PolicyExecutor):
                 b.release()
 
 
+#: Probe blocks below this many points run serially under the ``auto``
+#: policy: dispatching a handful of rows to a pool costs more than the
+#: kernel itself.  Chosen an order of magnitude above the point where
+#: per-task dispatch (~10-100us) is amortised by the numpy kernels.
+AUTO_POLICY_MIN_POINTS = 4_096
+
+
+class AutoPolicyExecutor(PolicyExecutor):
+    """``auto``: pick serial or thread fan-out *per probe block*.
+
+    The scheduling-axis analogue of ``ProximityBackend.AUTO``: the
+    other policies fix where shard probes run for the runtime's
+    lifetime, but the right choice depends on the probe block — a
+    kMaxRRST ancestor scan probes a few dozen points (pool dispatch
+    costs more than the kernel), a batch-engine pass probes tens of
+    thousands (the fan-out wins).  This executor implements the
+    ``probe_shards`` fan-out protocol so it sees each
+    :class:`~repro.engine.shards.ProbeBatch` before scheduling it:
+    blocks under :data:`AUTO_POLICY_MIN_POINTS` points probe inline on
+    the calling thread, larger ones ride a lazily built
+    :class:`ThreadPolicyExecutor` pool (threads, not processes — the
+    per-query IPC cost of the process policy is exactly what an
+    adaptive default must not spring on small-to-middling requests).
+
+    Either way the same probe body runs on the same arrays, so masks
+    and merged stats are bit-identical to whichever policy the
+    heuristic delegates to — the differential suite pins this.
+    ``serial_probes`` / ``fanout_probes`` count the decisions for
+    observability (and for the tests that pin the heuristic itself).
+    """
+
+    policy = ExecutionPolicy.AUTO
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        min_points: int = AUTO_POLICY_MIN_POINTS,
+    ) -> None:
+        self._threads = ThreadPolicyExecutor(max_workers)
+        self._workers = resolve_worker_count(max_workers)
+        self.min_points = int(min_points)
+        self._closed = False
+        self._lock = threading.Lock()
+        self.serial_probes = 0
+        self.fanout_probes = 0
+
+    def live(self) -> Optional["AutoPolicyExecutor"]:
+        # with one worker the heuristic could never choose fan-out, so
+        # don't interpose at all — dressed sets probe inline directly
+        if self._closed or self._workers <= 1:
+            return None
+        return self
+
+    def probe_shards(
+        self, shards: Sequence[StopShard], batch: ProbeBatch
+    ) -> List[Optional[ProbeResult]]:
+        """One result per shard in shard order (the fan-out protocol)."""
+        executor = None
+        if batch.pts.shape[0] >= self.min_points and len(shards) > 1:
+            executor = self._threads.live()  # None once closed: serial
+        if executor is None:
+            with self._lock:
+                self.serial_probes += 1
+            return [
+                probe_shard_arrays(s.keys, s.coords, s.cell_starts, batch)
+                for s in shards
+            ]
+        with self._lock:
+            self.fanout_probes += 1
+        return list(
+            executor.map(
+                lambda s: probe_shard_arrays(
+                    s.keys, s.coords, s.cell_starts, batch
+                ),
+                shards,
+            )
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        self._threads.close()
+
+
 def make_policy_executor(config: RuntimeConfig) -> PolicyExecutor:
     """The :class:`PolicyExecutor` behind ``config.policy``."""
     if config.policy is ExecutionPolicy.SERIAL:
         return SerialPolicyExecutor()
     if config.policy is ExecutionPolicy.PROCESSES:
         return ProcessPolicyExecutor(config.max_workers, config.start_method)
+    if config.policy is ExecutionPolicy.AUTO:
+        return AutoPolicyExecutor(config.max_workers)
     return ThreadPolicyExecutor(config.max_workers)

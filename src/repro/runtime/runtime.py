@@ -44,6 +44,8 @@ kept as deprecated shims that build a private runtime via
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import warnings
 from concurrent.futures import Executor
 from typing import Optional, Union
@@ -137,6 +139,19 @@ class QueryRuntime:
         """
         return self.policy_executor.live()
 
+    def prepare(self) -> None:
+        """Bring the policy's worker machinery up eagerly.
+
+        A no-op for the serial/threads/auto policies (lazy pools, no
+        fork hazard); for the ``processes`` policy this launches the
+        worker processes *now*, from the calling thread's clean state —
+        which is what a multi-threaded host (the asyncio
+        :class:`repro.service.QueryService`, any thread-pooled server)
+        must do before its threads start, per the fork caveat in
+        DESIGN.md §5.1.
+        """
+        self.policy_executor.prepare()
+
     def close(self) -> None:
         """Shut the worker machinery down; the runtime stays usable
         serially (dressed stop sets degrade to inline probing)."""
@@ -224,6 +239,38 @@ class QueryRuntime:
         .covered_mask` for every policy.
         """
         return self.stop_set(stops, psi).covered_mask(coords, psi, stats)
+
+    async def probe_mask_async(
+        self,
+        stops: Union[StopSet, np.ndarray],
+        coords: np.ndarray,
+        psi: float,
+        stats: Optional[QueryStats] = None,
+        executor: Optional[Executor] = None,
+    ) -> np.ndarray:
+        """:meth:`probe_mask` bridged onto the running event loop.
+
+        The probe — stop-set dressing, the grid/shard kernels, and any
+        policy-executor fan-out those schedule — is synchronous CPU
+        work, so awaiting it directly would stall every other coroutine
+        for the duration of the kernel.  This bridge runs the whole
+        probe via :meth:`loop.run_in_executor` (on ``executor``, or the
+        loop's default thread pool when ``None``) and awaits the
+        future, so the event loop stays responsive while the policy
+        executor does the geometric work on a bridge thread.  Results
+        are the same object :meth:`probe_mask` would return — the
+        bridge changes where the caller waits, never what is computed.
+
+        ``stats``, when given, is mutated from the bridge thread; don't
+        share one stats object across concurrent probes (give each its
+        own and :meth:`~repro.core.stats.QueryStats.merge` after — the
+        pattern :class:`repro.service.QueryService` uses per request).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor,
+            functools.partial(self.probe_mask, stops, coords, psi, stats),
+        )
 
     # ------------------------------------------------------------------
     # stats accrual

@@ -1,0 +1,270 @@
+"""The asyncio query service: concurrent requests over one runtime.
+
+:class:`QueryService` is the serving layer the ROADMAP's heavy-traffic
+north star calls for: an asyncio front that accepts concurrent
+:class:`~repro.service.requests.QueryRequest` submissions, runs their
+query cores on a bridge thread pool (the event loop never executes a
+probe kernel), and coalesces probe work across in-flight requests
+through the shared :class:`~repro.runtime.QueryRuntime`.
+
+**Coalescing.**  At submission the request is lowered by the
+:class:`~repro.service.planner.QueryPlanner` into probe units — the
+shareable (facility, psi, mode) work descriptors — and registered
+against the service's unit table *synchronously*, so every request
+submitted in the same event-loop tick sees every other.  A request
+whose units are all fresh is scheduled immediately; a request that
+shares a unit with an earlier in-flight request waits for that request
+to finish and then runs with the earlier request's masks, match sets,
+and shard builds already in the runtime's :class:`~repro.engine
+.CoverageCache` / :class:`~repro.engine.ShardStore` — its probes are
+served from the shared pass instead of recomputed.  Ordering is by
+submission, which makes the whole schedule equivalent to *some*
+sequential execution of the same requests against the same runtime:
+that equivalence is why service results **and per-request stats** are
+bit-identical to the synchronous functions (the differential suite in
+``tests/test_query_service.py`` holds both to ``==`` under every
+execution policy).
+
+**Admission control.**  ``ServiceConfig.queue_depth`` bounds how many
+requests may be admitted at once — a submission past the bound fails
+fast with :class:`~repro.core.errors.ServiceOverloaded` instead of
+growing an unbounded queue; ``max_in_flight`` bounds how many cores
+execute concurrently on the bridge pool; ``coalesce_window`` holds each
+admitted request open briefly so slightly-later submissions can
+coalesce onto its units before execution begins.
+
+**What the service never does** is change an answer: scheduling,
+coalescing, and admission bound *when* work runs, and every request
+executes the same pure core its synchronous wrapper runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import ServiceConfig
+from ..core.errors import QueryError, ServiceOverloaded
+from ..runtime import QueryRuntime
+from .planner import ProbeUnit, QueryPlanner
+from .requests import QueryRequest, QueryResult
+
+__all__ = ["QueryService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Serving-layer counters (scheduling, not geometry — the geometric
+    work counters live on the runtime's :class:`~repro.core.stats
+    .QueryStats` totals).
+
+    ``probe_units_coalesced`` counts units that were already registered
+    by an earlier in-flight request at submission time — each one is a
+    facility probe the later request served from shared work instead of
+    recomputing.  ``dedup_rate`` is the fraction of planned units so
+    served; it is the number ``BENCH_service.json`` reports for
+    overlapping workloads.
+    """
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    requests_rejected: int = 0
+    probe_units_planned: int = 0
+    probe_units_coalesced: int = 0
+
+    @property
+    def dedup_rate(self) -> float:
+        if self.probe_units_planned == 0:
+            return 0.0
+        return self.probe_units_coalesced / self.probe_units_planned
+
+
+class QueryService:
+    """Asyncio serving front over one :class:`~repro.runtime
+    .QueryRuntime` (see module docstring).
+
+    Parameters
+    ----------
+    runtime:
+        The execution context every request shares — its cache, shard
+        store, and policy executor are what coalescing coalesces
+        *into*.  ``None`` creates a private runtime (default config)
+        that :meth:`close` also closes; a caller-supplied runtime is
+        left open (the caller owns it).
+    config:
+        Admission and coalescing bounds (:class:`~repro.core.config
+        .ServiceConfig` defaults: 8 in flight, no window, depth 64).
+
+    Use as an async context manager::
+
+        async with QueryService(runtime) as service:
+            result = await service.submit(EvaluateRequest(tree, f, spec))
+
+    or drive many requests at once with :meth:`run`.  The service is
+    bound to whichever event loop first submits through it and may be
+    reused across loops (e.g. successive ``asyncio.run`` calls) only
+    while idle.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[QueryRuntime] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self._owns_runtime = runtime is None
+        self.runtime = runtime if runtime is not None else QueryRuntime()
+        self.config = config if config is not None else ServiceConfig()
+        # fork-safety: launch any process-pool workers from the current
+        # (ideally still single-threaded) state, before bridge threads
+        # exist — forking lazily mid-request from a bridge thread can
+        # clone another thread's held lock and deadlock the worker
+        self.runtime.prepare()
+        self.planner = QueryPlanner()
+        self.stats = ServiceStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_in_flight,
+            thread_name_prefix="repro-service",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._sem: Optional[asyncio.Semaphore] = None
+        #: unit -> the done-future of the newest admitted request
+        #: claiming it (the tail of that unit's dependency chain)
+        self._tails: Dict[ProbeUnit, asyncio.Future] = {}
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the bridge pool down (waiting for running cores) and,
+        when the service created its own runtime, close that too.
+        Call after outstanding submissions have completed."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        if self._owns_runtime:
+            self.runtime.close()
+
+    async def __aenter__(self) -> "QueryService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        # shutdown(wait=True) can block on running cores; keep the loop
+        # responsive by closing from a worker thread
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    # ------------------------------------------------------------------
+    # the loop binding (lazy, rebindable while idle)
+    # ------------------------------------------------------------------
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            if self._pending:
+                raise QueryError(
+                    "QueryService is in use on another event loop; await "
+                    "its outstanding requests before switching loops"
+                )
+            self._loop = loop
+            self._sem = asyncio.Semaphore(self.config.max_in_flight)
+            self._tails = {}
+        return loop
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: QueryRequest) -> QueryResult:
+        """Answer one request through the coalescing schedule.
+
+        Everything up to the first ``await`` — planning, admission, and
+        probe-unit registration — runs synchronously, so requests
+        submitted together coalesce regardless of how their coroutines
+        interleave afterwards.  Raises :class:`ServiceOverloaded` when
+        the admission queue is full, and re-raises whatever the
+        request's query core raises (a failed request never poisons its
+        successors: they proceed, exactly as a sequential caller would
+        continue after a failed call).
+        """
+        if self._closed:
+            raise QueryError("QueryService is closed")
+        loop = self._bind_loop()
+        plan = self.planner.plan(request)  # validates the request type
+        if self._pending >= self.config.queue_depth:
+            self.stats.requests_rejected += 1
+            raise ServiceOverloaded(
+                f"admission queue full ({self.config.queue_depth} requests "
+                "admitted); retry later or raise ServiceConfig.queue_depth"
+            )
+        self._pending += 1
+        self.stats.requests_submitted += 1
+        self.stats.probe_units_planned += len(plan.units)
+        done: asyncio.Future = loop.create_future()
+        predecessors = set()
+        for unit in plan.units:
+            tail = self._tails.get(unit)
+            if tail is not None and not tail.done():
+                predecessors.add(tail)
+                self.stats.probe_units_coalesced += 1
+            self._tails[unit] = done
+        try:
+            if self.config.coalesce_window > 0.0:
+                await asyncio.sleep(self.config.coalesce_window)
+            if predecessors:
+                await asyncio.gather(*predecessors)
+            async with self._sem:
+                if self._closed:
+                    # closed while we waited: fail deliberately instead
+                    # of scheduling on the shut-down bridge pool
+                    raise QueryError("QueryService is closed")
+                result = await loop.run_in_executor(
+                    self._executor, plan.execute, self.runtime
+                )
+        except Exception:
+            self.stats.requests_failed += 1
+            raise
+        finally:
+            done.set_result(None)
+            for unit in plan.units:
+                if self._tails.get(unit) is done:
+                    del self._tails[unit]
+            self._pending -= 1
+        self.runtime.accrue(result.stats)
+        self.stats.requests_completed += 1
+        return result
+
+    async def run(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+        """Submit ``requests`` concurrently; results in request order.
+
+        The sugar most callers want: every request is registered in
+        sequence (so the whole batch coalesces) and executed under the
+        service's bounds.  Every admitted request is awaited to
+        completion before anything is raised — a rejected or failed
+        sibling must not abandon in-flight work — then the first
+        failure (submission order) propagates.  Callers that want the
+        per-request outcomes instead should gather
+        :meth:`submit` calls themselves with ``return_exceptions``.
+        """
+        outcomes = await asyncio.gather(
+            *(self.submit(r) for r in requests), return_exceptions=True
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted (queued or executing)."""
+        return self._pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryService(pending={self._pending}, "
+            f"completed={self.stats.requests_completed}, "
+            f"dedup_rate={self.stats.dedup_rate:.2f})"
+        )

@@ -1,0 +1,202 @@
+"""Every deprecated entrypoint warns exactly once and still routes
+through :class:`~repro.runtime.QueryRuntime` (ISSUE-4 satellite).
+
+The legacy ``backend=`` / ``cache=`` keywords survive as shims on each
+query function and on :class:`~repro.engine.BatchQueryEngine`.  The
+contract centralised here: one call → exactly one
+:exc:`DeprecationWarning` (not zero, not a warning per internal hop),
+the answer equals the modern ``runtime=`` path bit-for-bit, and the
+legacy cache object is genuinely used — proof the shim really builds
+and routes through a runtime rather than silently falling back to the
+uncached dense path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import (
+    BatchQueryEngine,
+    CoverageCache,
+    ProximityBackend,
+    ServiceModel,
+    ServiceSpec,
+    TQTree,
+    TQTreeConfig,
+    evaluate_service,
+    exact_max_k_coverage,
+    genetic_max_k_coverage,
+    maxkcov_tq,
+    top_k_facilities,
+)
+from repro.queries.components import FacilityComponent
+from repro.queries.evaluate import evaluate_node_trajectories
+from repro.queries.maxkcov import tq_match_fn
+
+SPEC = ServiceSpec(ServiceModel.ENDPOINT, psi=400.0)
+COUNT = ServiceSpec(ServiceModel.COUNT, psi=400.0)
+
+
+@pytest.fixture(scope="module")
+def tree(taxi_users):
+    return TQTree.build(taxi_users, TQTreeConfig(beta=16))
+
+
+def _deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def _call_counting_warnings(fn):
+    """Run ``fn`` recording warnings; return (result, deprecation list)."""
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        result = fn()
+    return result, _deprecations(record)
+
+
+class TestEachShimWarnsExactlyOnce:
+    def test_evaluate_service_backend_and_cache(self, tree, facilities):
+        plain = evaluate_service(tree, facilities[0], SPEC)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: evaluate_service(
+                tree, facilities[0], SPEC,
+                backend=ProximityBackend.GRID, cache=cache,
+            )
+        )
+        assert len(warned) == 1
+        assert legacy == plain
+        assert len(cache) > 0  # the legacy cache really was routed through
+
+    def test_evaluate_node_trajectories_cache_keyword(self, tree, facilities):
+        component = FacilityComponent.whole(facilities[0], SPEC.psi)
+        component = component.restricted_to(tree.root.box)
+        plain = evaluate_node_trajectories(tree, tree.root, component, SPEC)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: evaluate_node_trajectories(
+                tree, tree.root, component, SPEC, cache=cache
+            )
+        )
+        assert len(warned) == 1
+        assert legacy == plain
+
+    def test_evaluate_node_trajectories_legacy_positional_slot(
+        self, tree, facilities
+    ):
+        """PR-2 callers passed a bare cache in the runtime slot; the shim
+        must catch it (one warning, same answer) instead of crashing."""
+        component = FacilityComponent.whole(facilities[0], SPEC.psi)
+        component = component.restricted_to(tree.root.box)
+        plain = evaluate_node_trajectories(tree, tree.root, component, SPEC)
+        legacy, warned = _call_counting_warnings(
+            lambda: evaluate_node_trajectories(
+                tree, tree.root, component, SPEC, None, None, CoverageCache()
+            )
+        )
+        assert len(warned) == 1
+        assert legacy == plain
+
+    def test_top_k_facilities_backend_and_cache(self, tree, facilities):
+        plain = top_k_facilities(tree, facilities, 3, SPEC)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: top_k_facilities(
+                tree, facilities, 3, SPEC,
+                backend=ProximityBackend.GRID, cache=cache,
+            )
+        )
+        assert len(warned) == 1
+        assert legacy.ranking == plain.ranking
+        assert len(cache) > 0
+
+    def test_maxkcov_tq_backend_and_cache(self, tree, facilities):
+        plain = maxkcov_tq(tree, facilities, 2, SPEC)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: maxkcov_tq(
+                tree, facilities, 2, SPEC,
+                backend=ProximityBackend.GRID, cache=cache,
+            )
+        )
+        assert len(warned) == 1
+        assert legacy.facility_ids() == plain.facility_ids()
+        assert legacy.combined_service == plain.combined_service
+        assert len(cache) > 0
+
+    def test_tq_match_fn_backend_and_cache(self, tree, facilities):
+        plain = tq_match_fn(tree, SPEC)(facilities[0])
+        cache = CoverageCache()
+        fn, warned = _call_counting_warnings(
+            lambda: tq_match_fn(
+                tree, SPEC, backend=ProximityBackend.GRID, cache=cache
+            )
+        )
+        assert len(warned) == 1  # warned at construction, not per call
+        assert fn(facilities[0]) == plain
+        assert len(cache) > 0
+
+    def test_exact_max_k_coverage_cache(self, tree, taxi_users, facilities):
+        subset = facilities[:4]
+        match_fn = tq_match_fn(tree, SPEC)
+        plain = exact_max_k_coverage(taxi_users, subset, 2, SPEC, match_fn)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: exact_max_k_coverage(
+                taxi_users, subset, 2, SPEC, match_fn, cache=cache
+            )
+        )
+        assert len(warned) == 1
+        assert legacy.facility_ids() == plain.facility_ids()
+        assert len(cache) > 0  # match sets were deduped through the shim
+
+    def test_genetic_max_k_coverage_cache(self, tree, taxi_users, facilities):
+        subset = facilities[:4]
+        match_fn = tq_match_fn(tree, SPEC)
+        plain = genetic_max_k_coverage(taxi_users, subset, 2, SPEC, match_fn)
+        cache = CoverageCache()
+        legacy, warned = _call_counting_warnings(
+            lambda: genetic_max_k_coverage(
+                taxi_users, subset, 2, SPEC, match_fn, cache=cache
+            )
+        )
+        assert len(warned) == 1
+        assert legacy.facility_ids() == plain.facility_ids()
+        assert len(cache) > 0
+
+    def test_batch_engine_backend_and_cache(self, taxi_users, facilities):
+        plain = BatchQueryEngine(taxi_users).run(
+            [(f, COUNT) for f in facilities[:3]]
+        )
+        cache = CoverageCache()
+        engine, warned = _call_counting_warnings(
+            lambda: BatchQueryEngine(
+                taxi_users, backend=ProximityBackend.GRID, cache=cache
+            )
+        )
+        assert len(warned) == 1  # warned at construction
+        got = engine.run([(f, COUNT) for f in facilities[:3]])
+        assert got.scores == plain.scores
+        assert engine.cache is cache
+        assert len(cache) > 0
+
+
+class TestModernPathsNeverWarn:
+    """The flip side: runtime-first calls must be warning-free, so the
+    shims stay shims instead of becoming load-bearing."""
+
+    def test_runtime_paths_are_clean(self, tree, taxi_users, facilities):
+        from repro import QueryRuntime
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with QueryRuntime() as rt:
+                evaluate_service(tree, facilities[0], SPEC, runtime=rt)
+                top_k_facilities(tree, facilities, 2, SPEC, runtime=rt)
+                maxkcov_tq(tree, facilities, 2, SPEC, runtime=rt)
+                BatchQueryEngine(taxi_users, runtime=rt).run(
+                    [(facilities[0], COUNT)]
+                )
+        assert not _deprecations(record)

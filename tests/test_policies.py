@@ -48,6 +48,8 @@ from repro.queries.components import FacilityComponent
 from repro.queries.evaluate import evaluate_node_trajectories
 from repro.runtime import coerce_runtime
 from repro.runtime.policies import (
+    AUTO_POLICY_MIN_POINTS,
+    AutoPolicyExecutor,
     ProcessPolicyExecutor,
     SerialPolicyExecutor,
     ThreadPolicyExecutor,
@@ -356,3 +358,73 @@ class TestNoBackendPlumbingInQueries:
             "queries/ must route all proximity work through the runtime; "
             "found direct plumbing:\n" + "\n".join(offenders)
         )
+
+
+class TestAutoPolicy:
+    """The adaptive ``auto`` policy: serial for small probe blocks,
+    thread fan-out for large ones — bit-identical to whichever policy
+    it delegates to (ISSUE-4 satellite)."""
+
+    PSI = 25.0
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(91)
+        stops = rng.uniform(0, 2_000, (6_000, 2))
+        small = rng.uniform(0, 2_000, (64, 2))
+        large = rng.uniform(0, 2_000, (AUTO_POLICY_MIN_POINTS + 512, 2))
+        return stops, small, large
+
+    def _masks(self, policy, stops, probe, shards=4):
+        with QueryRuntime(_config(policy, shards)) as rt:
+            stats = QueryStats()
+            mask = rt.probe_mask(stops, probe, self.PSI, stats)
+        return mask, stats
+
+    @pytest.mark.parametrize("block", ["small", "large"])
+    def test_auto_masks_and_stats_match_delegates(self, workload, block):
+        stops, small, large = workload
+        probe = small if block == "small" else large
+        auto_mask, auto_stats = self._masks("auto", stops, probe)
+        for delegate in ("serial", "threads"):
+            mask, stats = self._masks(delegate, stops, probe)
+            np.testing.assert_array_equal(auto_mask, mask)
+            assert auto_stats == stats
+
+    def test_heuristic_picks_serial_then_fanout(self, workload):
+        stops, small, large = workload
+        rt = QueryRuntime(_config("auto", 4))
+        executor = rt.policy_executor
+        assert isinstance(executor, AutoPolicyExecutor)
+        try:
+            rt.probe_mask(stops, small, self.PSI)
+            assert executor.serial_probes >= 1
+            assert executor.fanout_probes == 0
+            assert not executor._threads._built  # pool never constructed
+            rt.probe_mask(stops, large, self.PSI)
+            assert executor.fanout_probes == 1
+        finally:
+            rt.close()
+
+    def test_single_worker_auto_probes_inline(self, workload):
+        stops, _, large = workload
+        with QueryRuntime(_config("auto", 4, max_workers=1)) as rt:
+            assert rt.executor is None  # nothing to fan out over
+            serial_mask, _ = self._masks("serial", stops, large)
+            np.testing.assert_array_equal(
+                rt.probe_mask(stops, large, self.PSI), serial_mask
+            )
+
+    def test_closed_auto_degrades_to_serial(self, workload):
+        stops, _, large = workload
+        rt = QueryRuntime(_config("auto", 4))
+        dressed = rt.stop_set(StopSet(stops), self.PSI)
+        before = dressed.covered_mask(large, self.PSI)
+        rt.close()
+        after = dressed.covered_mask(large, self.PSI)  # must not raise
+        np.testing.assert_array_equal(before, after)
+
+    def test_auto_policy_accepted_by_config_string(self):
+        config = RuntimeConfig(policy="auto")
+        assert config.policy is ExecutionPolicy.AUTO
+        assert isinstance(make_policy_executor(config), AutoPolicyExecutor)

@@ -1,0 +1,474 @@
+"""Differential suite for the asyncio serving layer (ISSUE 4).
+
+The contract: :class:`repro.service.QueryService` never changes an
+answer or a counter.  For every request type × execution policy, the
+service's :class:`QueryResult.value` and per-request ``stats`` must be
+``==`` to what the synchronous functions produce when called in
+submission order against an identically configured runtime, and the
+service runtime's merged grand total must equal the sequential
+baseline's.  On top of parity: admission control (bounded queue),
+cross-request coalescing (shared probe units execute in submission
+order, later requests ride earlier masks), and the asyncio bridge
+(no event-loop-blocking callbacks even under 32 concurrent mixed
+requests, asserted in debug mode).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+
+import pytest
+
+from repro import (
+    EvaluateRequest,
+    ExactMaxKCovRequest,
+    GeneticMaxKCovRequest,
+    KMaxRRSTRequest,
+    MaxKCovRequest,
+    ProximityBackend,
+    QueryRuntime,
+    QueryService,
+    QueryStats,
+    RuntimeConfig,
+    ServiceConfig,
+    ServiceModel,
+    ServiceOverloaded,
+    ServiceSpec,
+    TQTree,
+    TQTreeConfig,
+    evaluate_service,
+    exact_max_k_coverage,
+    genetic_max_k_coverage,
+    maxkcov_tq,
+    top_k_facilities,
+)
+from repro.core.errors import QueryError
+from repro.queries.evaluate import MatchCollector
+from repro.queries.maxkcov import tq_match_fn
+from repro.service import QueryPlanner
+
+PSI = 400.0
+COUNT = ServiceSpec(ServiceModel.COUNT, psi=PSI)
+ENDPOINT = ServiceSpec(ServiceModel.ENDPOINT, psi=PSI)
+LENGTH = ServiceSpec(ServiceModel.LENGTH, psi=PSI)
+
+#: The acceptance matrix: every policy the runtime schedules under.
+POLICIES = ("serial", "threads", "processes")
+
+
+def _config(policy: str) -> RuntimeConfig:
+    return RuntimeConfig(
+        backend=ProximityBackend.GRID, policy=policy, shards=2, max_workers=2
+    )
+
+
+@pytest.fixture(scope="module")
+def tree(taxi_users):
+    return TQTree.build(taxi_users, TQTreeConfig(beta=16))
+
+
+def _mixed_requests(tree, facilities):
+    """One of everything, with deliberate probe-unit overlap."""
+    subset = tuple(facilities[:5])
+    return [
+        EvaluateRequest(tree, facilities[0], COUNT),
+        EvaluateRequest(tree, facilities[1], ENDPOINT),
+        EvaluateRequest(tree, facilities[0], COUNT),  # exact duplicate
+        EvaluateRequest(tree, facilities[2], LENGTH, collect_matches=True),
+        KMaxRRSTRequest(tree, tuple(facilities), 3, ENDPOINT),
+        MaxKCovRequest(tree, tuple(facilities), 2, ENDPOINT),
+        ExactMaxKCovRequest(tree, subset, 2, ENDPOINT),
+        GeneticMaxKCovRequest(tree, subset, 2, ENDPOINT),
+        EvaluateRequest(tree, facilities[3], COUNT),
+    ]
+
+
+def _sync_baseline(requests, runtime):
+    """The synchronous answers, called in submission order against one
+    shared runtime — the sequential schedule the service's coalescing
+    order is provably equivalent to.  Returns (values, per-request
+    stats deltas) with stats read exactly as a sync caller would."""
+    values = []
+    deltas = []
+    for req in requests:
+        before = dataclasses.replace(runtime.stats)
+        if isinstance(req, EvaluateRequest):
+            stats = QueryStats()
+            collector = MatchCollector() if req.collect_matches else None
+            value = evaluate_service(
+                req.tree, req.facility, req.spec,
+                collector=collector, stats=stats, runtime=runtime,
+            )
+            values.append(
+                (value, collector.as_dict() if collector else None)
+            )
+            deltas.append(stats)
+            continue
+        if isinstance(req, KMaxRRSTRequest):
+            result = top_k_facilities(
+                req.tree, req.facilities, req.k, req.spec, runtime=runtime
+            )
+            values.append(result)
+            deltas.append(result.stats)
+            continue
+        if isinstance(req, MaxKCovRequest):
+            result = maxkcov_tq(
+                req.tree, req.facilities, req.k, req.spec,
+                req.prune_factor, runtime=runtime,
+            )
+        elif isinstance(req, ExactMaxKCovRequest):
+            result = exact_max_k_coverage(
+                list(req.tree.trajectories()), req.facilities, req.k,
+                req.spec, tq_match_fn(req.tree, req.spec, runtime=runtime),
+                runtime=runtime,
+            )
+        else:
+            result = genetic_max_k_coverage(
+                list(req.tree.trajectories()), req.facilities, req.k,
+                req.spec, tq_match_fn(req.tree, req.spec, runtime=runtime),
+                req.config, runtime=runtime,
+            )
+        values.append(result)
+        # solvers report no stats object; the runtime delta is the
+        # per-request attribution a sync caller can observe
+        after = runtime.stats
+        deltas.append(
+            QueryStats(**{
+                f.name: getattr(after, f.name) - getattr(before, f.name)
+                for f in dataclasses.fields(QueryStats)
+            })
+        )
+    return values, deltas
+
+
+def _assert_result_equal(req, result, expected, expected_stats):
+    if isinstance(req, EvaluateRequest):
+        value, matches = expected
+        assert result.value == value
+        assert result.matches == matches
+    elif isinstance(req, KMaxRRSTRequest):
+        assert result.value.ranking == expected.ranking
+    else:
+        assert result.value.facility_ids() == expected.facility_ids()
+        assert result.value.combined_service == expected.combined_service
+        assert result.value.users_fully_served == expected.users_fully_served
+        assert result.value.step_gains == expected.step_gains
+    assert result.stats == expected_stats
+
+
+class TestServiceDifferential:
+    """Service answers == synchronous answers, per request and in total,
+    for all five request types under every execution policy."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mixed_requests_bit_identical(self, policy, tree, facilities):
+        requests = _mixed_requests(tree, facilities)
+        with QueryRuntime(_config(policy)) as base_rt:
+            base_values, base_deltas = _sync_baseline(requests, base_rt)
+            base_total = dataclasses.replace(base_rt.stats)
+
+        async def drive():
+            with QueryRuntime(_config(policy)) as rt:
+                async with QueryService(
+                    rt, ServiceConfig(max_in_flight=4)
+                ) as service:
+                    results = await service.run(requests)
+                total = dataclasses.replace(rt.stats)
+            return results, total
+
+        results, total = asyncio.run(drive())
+        for req, result, expected, delta in zip(
+            requests, results, base_values, base_deltas
+        ):
+            assert result.request is req
+            _assert_result_equal(req, result, expected, delta)
+        assert total == base_total
+
+    def test_repeat_submission_is_deterministic(self, tree, facilities):
+        """Two service runs of the same workload agree exactly —
+        scheduling noise never reaches answers or stats."""
+        requests = _mixed_requests(tree, facilities)
+
+        def one_run():
+            async def drive():
+                with QueryRuntime(_config("threads")) as rt:
+                    async with QueryService(rt) as service:
+                        results = await service.run(requests)
+                    return (
+                        [(r.value, r.stats) for r in results],
+                        dataclasses.replace(rt.stats),
+                    )
+
+            return asyncio.run(drive())
+
+        first, first_total = one_run()
+        second, second_total = one_run()
+        for (v1, s1), (v2, s2) in zip(first, second):
+            if hasattr(v1, "ranking"):
+                assert v1.ranking == v2.ranking
+            elif hasattr(v1, "facility_ids"):
+                assert v1.facility_ids() == v2.facility_ids()
+            else:
+                assert v1 == v2
+            assert s1 == s2
+        assert first_total == second_total
+
+
+class TestCoalescing:
+    def test_duplicate_requests_coalesce(self, tree, facilities):
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+
+        async def drive():
+            async with QueryService(QueryRuntime(_config("serial"))) as svc:
+                results = await svc.run([req, req, req])
+                return results, svc.stats
+
+        results, stats = asyncio.run(drive())
+        assert len({r.value for r in results}) == 1
+        assert stats.probe_units_planned == 3
+        # second and third submissions ride the first's probe work
+        assert stats.probe_units_coalesced == 2
+        assert stats.dedup_rate == pytest.approx(2 / 3)
+        # the coalesced requests did no geometric work: masks were
+        # served from the shared pass (cache hit, zero fresh probes)
+        assert results[1].stats.points_scanned == 0
+        assert results[1].stats.cache_hits > 0
+
+    def test_disjoint_requests_do_not_coalesce(self, tree, facilities):
+        reqs = [
+            EvaluateRequest(tree, facilities[0], COUNT),
+            EvaluateRequest(tree, facilities[1], COUNT),
+        ]
+
+        async def drive():
+            async with QueryService(QueryRuntime(_config("serial"))) as svc:
+                await svc.run(reqs)
+                return svc.stats
+
+        stats = asyncio.run(drive())
+        assert stats.probe_units_planned == 2
+        assert stats.probe_units_coalesced == 0
+
+    def test_coalesce_window_delays_but_preserves_answers(
+        self, tree, facilities
+    ):
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        plain = evaluate_service(tree, facilities[0], COUNT)
+
+        async def drive():
+            config = ServiceConfig(coalesce_window=0.01)
+            async with QueryService(
+                QueryRuntime(_config("serial")), config
+            ) as svc:
+                return await svc.submit(req)
+
+        assert asyncio.run(drive()).value == plain
+
+
+class TestAdmissionControl:
+    def test_queue_depth_rejects_overflow(self, tree, facilities):
+        requests = [
+            EvaluateRequest(tree, facilities[i % len(facilities)], COUNT)
+            for i in range(6)
+        ]
+
+        async def drive():
+            config = ServiceConfig(max_in_flight=1, queue_depth=2)
+            async with QueryService(
+                QueryRuntime(_config("serial")), config
+            ) as svc:
+                outcomes = await asyncio.gather(
+                    *(svc.submit(r) for r in requests),
+                    return_exceptions=True,
+                )
+                return outcomes, svc.stats
+
+        outcomes, stats = asyncio.run(drive())
+        rejected = [o for o in outcomes if isinstance(o, ServiceOverloaded)]
+        completed = [o for o in outcomes if not isinstance(o, Exception)]
+        assert len(rejected) == 4  # admissions beyond queue_depth=2
+        assert len(completed) == 2
+        assert stats.requests_rejected == 4
+        assert stats.requests_completed == 2
+
+    def test_run_awaits_admitted_siblings_on_overflow(self, tree, facilities):
+        """An overflow inside run() must not abandon admitted siblings:
+        every admitted request completes (and is accrued) before the
+        first rejection propagates."""
+        requests = [
+            EvaluateRequest(tree, facilities[i % len(facilities)], COUNT)
+            for i in range(6)
+        ]
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(
+                    rt, ServiceConfig(max_in_flight=1, queue_depth=2)
+                ) as svc:
+                    with pytest.raises(ServiceOverloaded):
+                        await svc.run(requests)
+                    return svc.stats
+
+        stats = asyncio.run(drive())
+        assert stats.requests_rejected == 4
+        assert stats.requests_completed == 2  # siblings ran to completion
+        assert stats.requests_failed == 0  # none died on a shut-down pool
+
+    def test_submit_rechecks_closed_after_waiting(self, tree, facilities):
+        """A request admitted before close() but still waiting on a
+        predecessor when it runs must fail with the documented
+        QueryError, not schedule on the shut-down bridge pool."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                svc = QueryService(rt)
+                await svc.submit(req)  # binds the loop
+                loop = asyncio.get_running_loop()
+                gate = loop.create_future()
+                for unit in svc.planner.plan(req).units:
+                    svc._tails[unit] = gate  # plant a live predecessor
+                task = asyncio.ensure_future(svc.submit(req))
+                for _ in range(4):
+                    await asyncio.sleep(0)  # let the task block on gate
+                assert not task.done()
+                svc.close()
+                gate.set_result(None)
+                with pytest.raises(QueryError, match="closed"):
+                    await task
+
+        asyncio.run(drive())
+
+    def test_config_validation(self):
+        with pytest.raises(QueryError):
+            ServiceConfig(max_in_flight=0)
+        with pytest.raises(QueryError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(QueryError):
+            ServiceConfig(coalesce_window=-1.0)
+        with pytest.raises(QueryError):
+            ServiceConfig(coalesce_window=float("nan"))
+
+    def test_closed_service_rejects_submissions(self, tree, facilities):
+        service = QueryService()
+        service.close()
+        with pytest.raises(QueryError):
+            asyncio.run(service.submit(EvaluateRequest(tree, facilities[0], COUNT)))
+
+    def test_unknown_request_type_rejected(self):
+        with pytest.raises(QueryError):
+            QueryPlanner().plan(object())
+
+
+class TestAsyncSmoke:
+    """The ISSUE-4 CI smoke: 32 concurrent mixed requests, parity, and
+    no event-loop blocking warnings in asyncio debug mode."""
+
+    N_REQUESTS = 32
+
+    def _smoke_requests(self, tree, facilities):
+        requests = []
+        for i in range(self.N_REQUESTS - 2):
+            spec = (COUNT, ENDPOINT, LENGTH)[i % 3]
+            requests.append(
+                EvaluateRequest(tree, facilities[i % len(facilities)], spec)
+            )
+        requests.append(KMaxRRSTRequest(tree, tuple(facilities), 3, ENDPOINT))
+        requests.append(MaxKCovRequest(tree, tuple(facilities), 2, ENDPOINT))
+        return requests
+
+    def test_32_concurrent_requests_parity_and_no_blocking(
+        self, tree, facilities, caplog
+    ):
+        requests = self._smoke_requests(tree, facilities)
+        with QueryRuntime(_config("threads")) as base_rt:
+            base_values, base_deltas = _sync_baseline(requests, base_rt)
+            base_total = dataclasses.replace(base_rt.stats)
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            # surface any callback that holds the loop; the bridge keeps
+            # query cores off-loop, so nothing should come close
+            loop.set_debug(True)
+            loop.slow_callback_duration = 0.5
+            with QueryRuntime(_config("threads")) as rt:
+                async with QueryService(
+                    rt, ServiceConfig(max_in_flight=8)
+                ) as service:
+                    results = await service.run(requests)
+                return results, dataclasses.replace(rt.stats), service.stats
+
+        with caplog.at_level(logging.WARNING, logger="asyncio"):
+            results, total, service_stats = asyncio.run(drive())
+        blocking = [
+            r for r in caplog.records if "Executing" in r.getMessage()
+        ]
+        assert not blocking, [r.getMessage() for r in blocking]
+        for req, result, expected, delta in zip(
+            requests, results, base_values, base_deltas
+        ):
+            _assert_result_equal(req, result, expected, delta)
+        assert total == base_total
+        assert service_stats.requests_completed == self.N_REQUESTS
+        # facilities repeat across the 30 evaluates, so the workload
+        # must exhibit real cross-request sharing
+        assert service_stats.probe_units_coalesced > 0
+
+
+class TestServiceLifecycle:
+    def test_service_prepares_process_workers_eagerly(self):
+        """Fork safety: a processes runtime handed to a service must
+        have its workers launched at construction (from the clean,
+        pre-bridge-thread state), not lazily from a bridge thread."""
+        with QueryRuntime(_config("processes")) as rt:
+            assert rt.policy_executor._pool is None  # lazy until prepared
+            service = QueryService(rt)
+            try:
+                pool = rt.policy_executor._pool
+                assert pool is not None
+                # under fork (the hazard case) the first submit launches
+                # every worker; spawn platforms launch on demand
+                assert len(pool._processes) >= 1
+            finally:
+                service.close()
+
+    def test_service_reusable_across_event_loops(self, tree, facilities):
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        with QueryRuntime(_config("serial")) as rt:
+            service = QueryService(rt)
+            first = asyncio.run(service.submit(req))
+            second = asyncio.run(service.submit(req))  # fresh loop, idle
+            service.close()
+        assert first.value == second.value
+
+    def test_owned_runtime_closed_with_service(self):
+        service = QueryService()
+        runtime = service.runtime
+        service.close()
+        assert runtime.executor is None  # closed runtimes stay serial
+
+    def test_caller_runtime_left_open(self):
+        with QueryRuntime(RuntimeConfig(max_workers=2)) as rt:
+            service = QueryService(rt)
+            service.close()
+            assert rt.executor is not None
+
+    def test_service_value_property(self, tree, facilities):
+        async def drive():
+            async with QueryService(QueryRuntime(_config("serial"))) as svc:
+                ev = await svc.submit(EvaluateRequest(tree, facilities[0], COUNT))
+                cov = await svc.submit(
+                    MaxKCovRequest(tree, tuple(facilities), 2, ENDPOINT)
+                )
+                top = await svc.submit(
+                    KMaxRRSTRequest(tree, tuple(facilities), 2, ENDPOINT)
+                )
+                return ev, cov, top
+
+        ev, cov, top = asyncio.run(drive())
+        assert ev.service_value == ev.value
+        assert cov.service_value == cov.value.combined_service
+        with pytest.raises(QueryError):
+            top.service_value
