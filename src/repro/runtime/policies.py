@@ -379,10 +379,23 @@ class ProcessPolicyExecutor(PolicyExecutor):
         .prepare`).
 
         Building the :class:`ProcessPoolExecutor` object is not enough —
-        CPython launches the actual workers on first *submit* — so this
-        runs one no-op task and waits for it: under the fork start
-        method that first submit launches every worker at once, all
-        cloned from the calling thread's clean state.
+        CPython launches the actual workers at submit time — so this
+        runs one no-op task and waits for it.  One submit suffices on
+        every supported interpreter and start method:
+
+        * under ``fork`` — the only start method where late launches
+          are hazardous — the first submit launches *all*
+          ``max_workers`` workers before the pool's manager thread
+          exists.  gh-90622's on-demand spawning (3.11+) explicitly
+          excludes ``fork`` (``_safe_to_dynamically_spawn_children``)
+          for exactly the deadlock this method guards against, and
+          pre-3.11 pools launched every worker on first submit anyway;
+        * under ``spawn``/``forkserver`` workers may launch on demand
+          after this returns, but they never ``fork()`` the
+          multi-threaded host: ``spawn`` starts a fresh interpreter,
+          and ``forkserver`` workers fork from the forkserver daemon —
+          which this first submit starts, from the calling thread's
+          clean state.
         """
         if self.live() is None:
             return

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 import warnings
 from concurrent.futures import Executor
 from typing import Optional, Union
@@ -67,6 +68,13 @@ from ..engine.shards import ShardedStopSet, ShardStore
 from .policies import make_policy_executor
 
 __all__ = ["QueryRuntime", "coerce_runtime"]
+
+#: One process-wide lock for stats accrual and reset.  A per-runtime
+#: lock would silently not serialize the advertised sharing pattern of
+#: several runtimes accruing into one caller-supplied ``QueryStats``;
+#: accruals are per-query and merge a handful of integers, so a global
+#: lock is correct for every sharing shape at no measurable cost.
+_STATS_LOCK = threading.Lock()
 
 
 class QueryRuntime:
@@ -276,13 +284,25 @@ class QueryRuntime:
     # stats accrual
     # ------------------------------------------------------------------
     def accrue(self, delta: QueryStats) -> None:
-        """Merge one query's work counters into the runtime total."""
-        self.stats.merge(delta)
+        """Merge one query's work counters into the runtime total.
+
+        Serialized against concurrent accruals and :meth:`reset_stats`
+        — across *all* runtimes, so several runtimes accruing into one
+        shared ``stats`` object are covered too: accruals come from
+        whichever thread a query core ran on (sync callers' threads,
+        the service's bridge pool — including a core whose caller was
+        cancelled), and an unguarded read-modify-write merge would lose
+        counts, while a reset swapping the totals object mid-merge
+        would tear them.
+        """
+        with _STATS_LOCK:
+            self.stats.merge(delta)
 
     def reset_stats(self) -> QueryStats:
         """Return the accrued totals and start a fresh accumulation."""
-        out = self.stats
-        self.stats = QueryStats()
+        with _STATS_LOCK:
+            out = self.stats
+            self.stats = QueryStats()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,6 +33,23 @@ execute concurrently on the bridge pool; ``coalesce_window`` holds each
 admitted request open briefly so slightly-later submissions can
 coalesce onto its units before execution begins.
 
+**Cancellation.**  A caller may cancel an admitted submission (e.g.
+:func:`asyncio.wait_for` timing out).  Cancellation is strictly local
+to that request: the shared predecessor futures it was waiting on are
+shielded, so siblings gathering on the same futures never see the
+cancel; its admission slot is released; and its own done-future
+resolves only once all of *its* predecessors have resolved, so a
+successor sharing a unit still runs strictly after the surviving chain
+— submission order on overlap holds even around cancelled requests.
+A request cancelled *after* its core started cannot abandon it (a
+thread cannot be interrupted): the orphaned core keeps its bridge-pool
+slot and its position in the schedule — successors wait for it exactly
+as they would for a completing predecessor — and when it finishes, its
+stats are accrued into the runtime totals, because its cache work
+happened and is visible to successors just like a sequential
+predecessor's.  Cancelled requests are counted in
+``ServiceStats.requests_cancelled``.
+
 **What the service never does** is change an answer: scheduling,
 coalescing, and admission bound *when* work runs, and every request
 executes the same pure core its synchronous wrapper runs.
@@ -41,9 +58,11 @@ executes the same pure core its synchronous wrapper runs.
 from __future__ import annotations
 
 import asyncio
+import functools
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.config import ServiceConfig
 from ..core.errors import QueryError, ServiceOverloaded
@@ -60,18 +79,30 @@ class ServiceStats:
     work counters live on the runtime's :class:`~repro.core.stats
     .QueryStats` totals).
 
-    ``probe_units_coalesced`` counts units that were already registered
-    by an earlier in-flight request at submission time — each one is a
-    facility probe the later request served from shared work instead of
-    recomputing.  ``dedup_rate`` is the fraction of planned units so
-    served; it is the number ``BENCH_service.json`` reports for
-    overlapping workloads.
+    ``probe_units_coalesced`` counts units a request served from shared
+    work instead of recomputing.  It is counted when the request
+    reaches execution, not at registration: the unit must have been
+    claimed by an earlier in-flight request at submission time *and*
+    some earlier member of the unit's dependency chain must have run
+    its core to completion — a predecessor cancelled before its core
+    ran computed nothing, and one whose core failed computed nothing
+    complete, so riding either is (conservatively) not counted as
+    sharing.  ``dedup_rate`` is
+    the fraction of planned units so served; it is the number
+    ``BENCH_service.json`` reports for overlapping workloads.
+
+    Every admitted request settles into exactly one outcome counter, so
+    ``requests_completed + requests_failed + requests_cancelled ==
+    requests_submitted`` once the workload drains (rejected submissions
+    are counted in ``requests_rejected`` only — they are never
+    admitted).
     """
 
     requests_submitted: int = 0
     requests_completed: int = 0
     requests_failed: int = 0
     requests_rejected: int = 0
+    requests_cancelled: int = 0
     probe_units_planned: int = 0
     probe_units_coalesced: int = 0
 
@@ -133,7 +164,16 @@ class QueryService:
         #: unit -> the done-future of the newest admitted request
         #: claiming it (the tail of that unit's dependency chain)
         self._tails: Dict[ProbeUnit, asyncio.Future] = {}
+        #: unit -> has any member of its live dependency chain actually
+        #: executed?  (decides whether a successor's unit counts as
+        #: coalesced; cleaned up with the chain's ``_tails`` entry)
+        self._chain_executed: Dict[ProbeUnit, bool] = {}
         self._pending = 0
+        #: cores handed to the bridge pool and not yet finished, kept
+        #: on a threading lock (not asyncio state) so it stays truthful
+        #: even when a cancelled core outlives its event loop
+        self._executing = 0
+        self._core_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -164,14 +204,22 @@ class QueryService:
     def _bind_loop(self) -> asyncio.AbstractEventLoop:
         loop = asyncio.get_running_loop()
         if self._loop is not loop:
-            if self._pending:
+            with self._core_lock:
+                executing = self._executing
+            if self._pending or executing:
+                # `executing` catches cores whose callers were cancelled
+                # and whose loop may even be gone: rebinding while one
+                # runs would let a fresh request race it on shared units
                 raise QueryError(
                     "QueryService is in use on another event loop; await "
-                    "its outstanding requests before switching loops"
+                    "its outstanding requests (including cores kept "
+                    "running by cancelled submissions) before switching "
+                    "loops"
                 )
             self._loop = loop
             self._sem = asyncio.Semaphore(self.config.max_in_flight)
             self._tails = {}
+            self._chain_executed = {}
         return loop
 
     # ------------------------------------------------------------------
@@ -187,7 +235,10 @@ class QueryService:
         the admission queue is full, and re-raises whatever the
         request's query core raises (a failed request never poisons its
         successors: they proceed, exactly as a sequential caller would
-        continue after a failed call).
+        continue after a failed call).  Cancelling the returned
+        coroutine releases the request's admission slot and leaves the
+        shared schedule intact (see *Cancellation* in the module
+        docstring).
         """
         if self._closed:
             raise QueryError("QueryService is closed")
@@ -204,37 +255,206 @@ class QueryService:
         self.stats.probe_units_planned += len(plan.units)
         done: asyncio.Future = loop.create_future()
         predecessors = set()
+        coalesced_units: List[ProbeUnit] = []
         for unit in plan.units:
             tail = self._tails.get(unit)
             if tail is not None and not tail.done():
                 predecessors.add(tail)
-                self.stats.probe_units_coalesced += 1
+                coalesced_units.append(unit)
+            else:
+                # a fresh unit starts a new chain with no executed work
+                self._chain_executed[unit] = False
             self._tails[unit] = done
+        exec_future: Optional[asyncio.Future] = None
         try:
             if self.config.coalesce_window > 0.0:
                 await asyncio.sleep(self.config.coalesce_window)
             if predecessors:
-                await asyncio.gather(*predecessors)
-            async with self._sem:
+                # shield(): the predecessor futures are shared — other
+                # requests gather on the very same objects, and their
+                # owners resolve them in a finally.  A cancelled waiter
+                # (asyncio.wait_for timeout, task.cancel()) must cancel
+                # only its own wait, never the futures themselves.
+                await asyncio.gather(
+                    *(asyncio.shield(p) for p in predecessors)
+                )
+            await self._sem.acquire()
+            try:
                 if self._closed:
                     # closed while we waited: fail deliberately instead
                     # of scheduling on the shut-down bridge pool
                     raise QueryError("QueryService is closed")
-                result = await loop.run_in_executor(
-                    self._executor, plan.execute, self.runtime
+                # coalescing is decided here, not at registration: the
+                # unit was truly served from shared work only if some
+                # earlier chain member actually executed (a predecessor
+                # cancelled before its core ran computed nothing)
+                for unit in coalesced_units:
+                    if self._chain_executed.get(unit):
+                        self.stats.probe_units_coalesced += 1
+                with self._core_lock:
+                    self._executing += 1
+                try:
+                    exec_future = loop.run_in_executor(
+                        self._executor, self._run_core, plan
+                    )
+                except BaseException:  # pragma: no cover - pool raced us
+                    with self._core_lock:
+                        self._executing -= 1
+                    raise
+            except BaseException:
+                self._sem.release()
+                raise
+            try:
+                result = await asyncio.shield(exec_future)
+            except BaseException:
+                # the caller stops waiting here — usually a cancel while
+                # the core still runs on its bridge thread (threads
+                # cannot be interrupted).  The bridge slot, exception
+                # consumption, and chain-executed marking transfer to
+                # the reaper, which runs as soon as the core finishes
+                # (or immediately, if the future settled this very
+                # tick).
+                exec_future.add_done_callback(
+                    functools.partial(
+                        self._reap_abandoned,
+                        self._sem,
+                        plan.units,
+                        self._chain_executed,
+                    )
                 )
-        except Exception:
+                raise
+            # marked only when the core succeeded: a failed core
+            # computed no (complete) reusable work, and successors must
+            # not count riding it as sharing
+            for unit in plan.units:
+                self._chain_executed[unit] = True
+            self._sem.release()
+        except asyncio.CancelledError:
+            # CancelledError is a BaseException: without this branch a
+            # cancelled request would count in requests_submitted but in
+            # no outcome counter
+            self.stats.requests_cancelled += 1
+            raise
+        except BaseException:
+            # BaseException, not Exception: a core raising SystemExit/
+            # KeyboardInterrupt must still land in an outcome counter or
+            # the ServiceStats sum invariant breaks
             self.stats.requests_failed += 1
             raise
         finally:
-            done.set_result(None)
-            for unit in plan.units:
-                if self._tails.get(unit) is done:
-                    del self._tails[unit]
             self._pending -= 1
-        self.runtime.accrue(result.stats)
+            self._resolve(done, predecessors, plan.units, exec_future)
         self.stats.requests_completed += 1
         return result
+
+    def _run_core(self, plan):
+        """The bridge-thread body: run the plan's core and accrue its
+        stats into the runtime totals.
+
+        Accrual lives here — not on the event loop after the await —
+        because the core's caller may be gone by the time it finishes
+        (cancelled mid-execution) and its loop may even be closed;
+        bridge-side accrual guarantees the totals reflect every core
+        that ran, and the runtime's own stats lock serializes it
+        against concurrent accruals and ``reset_stats``.
+        ``_executing`` is incremented by the submitter *before* the
+        bridge handoff (a queued core someone cancelled is still
+        in-flight work) and released only here, so loop rebinding stays
+        blocked while any core runs, loop health notwithstanding.
+        """
+        try:
+            result = plan.execute(self.runtime)
+            self.runtime.accrue(result.stats)  # runtime-locked merge
+            return result
+        finally:
+            with self._core_lock:
+                self._executing -= 1
+
+    def _resolve(
+        self,
+        done: asyncio.Future,
+        predecessors: Iterable[asyncio.Future],
+        units: Sequence[ProbeUnit],
+        exec_future: Optional[asyncio.Future] = None,
+    ) -> None:
+        """Resolve ``done`` once every one of the request's own
+        predecessors — and its own core, if one is in flight — has
+        resolved.
+
+        On the happy path both conditions already hold and ``done``
+        resolves immediately.  The deferral matters when a request dies
+        out of order: one cancelled *before* executing must not release
+        successors sharing its units while the head of its dependency
+        chain is still running (so we chain to the predecessors), and
+        one cancelled *while* executing leaves an orphaned core running
+        on its bridge thread that successors must still serialize
+        behind (so we chain to ``exec_future`` too).  Together these
+        keep done-futures resolving in transitive dependency order,
+        which is what preserves submission order on overlap — and the
+        per-request stats guarantee — around cancellations.  ``_tails``
+        entries are cleaned up at the same moment, never earlier: a
+        unit must keep pointing at its chain tail while later
+        submissions can still chain onto it.
+        """
+        remaining = [p for p in predecessors if not p.done()]
+        if exec_future is not None and not exec_future.done():
+            remaining.append(exec_future)
+        if not remaining:
+            self._settle(done, units)
+            return
+        pending = len(remaining)
+
+        def _on_predecessor(_: asyncio.Future) -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                self._settle(done, units)
+
+        for p in remaining:
+            p.add_done_callback(_on_predecessor)
+
+    def _settle(
+        self, done: asyncio.Future, units: Sequence[ProbeUnit]
+    ) -> None:
+        if not done.done():
+            done.set_result(None)
+        for unit in units:
+            if self._tails.get(unit) is done:
+                del self._tails[unit]
+                self._chain_executed.pop(unit, None)
+
+    def _reap_abandoned(
+        self,
+        sem: asyncio.Semaphore,
+        units: Sequence[ProbeUnit],
+        chains: Dict[ProbeUnit, bool],
+        fut: asyncio.Future,
+    ) -> None:
+        """Finish up for a core outcome its caller will not consume:
+        return the bridge slot it occupied, mark the chain executed
+        when the orphan's core succeeded (its cache work is real, so
+        successors riding it count as coalesced — this runs before the
+        ``_resolve`` countdown attached later, so the marks land before
+        any successor wakes), and retrieve the exception, if any —
+        there is no caller left to re-raise to, and retrieving it keeps
+        asyncio's never-retrieved warning quiet.  ``sem`` and
+        ``chains`` are passed in (not read from ``self``) so a loop
+        rebind between abandonment and completion cannot release the
+        wrong semaphore or stamp a stale unit into the rebound loop's
+        fresh table.  The orphan's stats need no attention here:
+        `_run_core` accrued them on the bridge thread the moment the
+        core finished.
+        """
+        sem.release()
+        if fut.cancelled():
+            return
+        if fut.exception() is None and chains is self._chain_executed:
+            for unit in units:
+                # only while the unit's chain is still live: an entry
+                # exists exactly as long as its _tails chain does, and
+                # re-inserting one _settle already popped would leak it
+                if unit in chains:
+                    chains[unit] = True
 
     async def run(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
         """Submit ``requests`` concurrently; results in request order.
@@ -259,7 +479,10 @@ class QueryService:
     # ------------------------------------------------------------------
     @property
     def in_flight(self) -> int:
-        """Requests currently admitted (queued or executing)."""
+        """Requests currently admitted (queued or executing).  A core
+        kept running by a cancelled submission is no longer a request
+        and is not counted here, but it still blocks loop rebinding
+        and holds its bridge slot until it finishes."""
         return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

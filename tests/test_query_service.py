@@ -18,6 +18,9 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import logging
+import multiprocessing
+import threading
+import time
 
 import pytest
 
@@ -341,6 +344,282 @@ class TestAdmissionControl:
 
         asyncio.run(drive())
 
+    def test_cancelled_waiter_leaves_shared_schedule_intact(
+        self, tree, facilities
+    ):
+        """A timed-out coalesced submit must not cancel the shared
+        predecessor future, leak its admission slot, release successors
+        past the still-running chain head, or vanish from the stats."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(rt) as svc:
+                    await svc.submit(req)  # binds the loop
+                    loop = asyncio.get_running_loop()
+                    gate = loop.create_future()  # the in-flight "head"
+                    for unit in svc.planner.plan(req).units:
+                        svc._tails[unit] = gate
+                    victim = asyncio.ensure_future(
+                        asyncio.wait_for(svc.submit(req), timeout=0.01)
+                    )
+                    await asyncio.sleep(0)  # let victim register first
+                    successor = asyncio.ensure_future(svc.submit(req))
+                    with pytest.raises(asyncio.TimeoutError):
+                        await victim
+                    # the cancel stayed local: the shared predecessor
+                    # future the victim was gathering on survives
+                    assert not gate.cancelled()
+                    # and the successor stays ordered behind the chain
+                    # head even though its direct predecessor (the
+                    # victim) is already gone
+                    for _ in range(4):
+                        await asyncio.sleep(0)
+                    assert not successor.done()
+                    gate.set_result(None)
+                    result = await successor
+                    assert svc.in_flight == 0  # no admission-slot leak
+                    return result, svc.stats
+
+        result, stats = asyncio.run(drive())
+        assert result.value == evaluate_service(tree, facilities[0], COUNT)
+        assert stats.requests_cancelled == 1
+        assert stats.requests_failed == 0
+        # every admitted request settled into exactly one outcome
+        assert (
+            stats.requests_completed
+            + stats.requests_failed
+            + stats.requests_cancelled
+            == stats.requests_submitted
+        )
+
+    def test_cancelled_request_frees_admission_capacity(
+        self, tree, facilities
+    ):
+        """Cancellations must hand their queue slots back: a full wave
+        of timed-out requests may not push the service into rejecting
+        everything afterwards (the admission-leak regression)."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+
+        async def drive():
+            config = ServiceConfig(max_in_flight=1, queue_depth=2)
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(rt, config) as svc:
+                    await svc.submit(req)
+                    loop = asyncio.get_running_loop()
+                    for _ in range(3):  # fill and drain the queue
+                        gate = loop.create_future()
+                        for unit in svc.planner.plan(req).units:
+                            svc._tails[unit] = gate
+                        waiters = [
+                            asyncio.ensure_future(
+                                asyncio.wait_for(svc.submit(req), 0.01)
+                            )
+                            for _ in range(config.queue_depth)
+                        ]
+                        outcomes = await asyncio.gather(
+                            *waiters, return_exceptions=True
+                        )
+                        assert all(
+                            isinstance(o, asyncio.TimeoutError)
+                            for o in outcomes
+                        )
+                        gate.set_result(None)
+                        await asyncio.sleep(0)
+                    assert svc.in_flight == 0
+                    # capacity fully recovered: a fresh request is
+                    # admitted and completes
+                    result = await svc.submit(req)
+                    return result, svc.stats
+
+        result, stats = asyncio.run(drive())
+        assert result.value == evaluate_service(tree, facilities[0], COUNT)
+        assert stats.requests_cancelled == 6
+        assert stats.requests_rejected == 0
+        assert stats.requests_completed == 2
+
+    def test_dedup_not_counted_for_cancelled_predecessor(
+        self, tree, facilities
+    ):
+        """probe_units_coalesced (the BENCH dedup metric) only counts
+        units actually served from an executed chain member: riding a
+        predecessor that was cancelled before its core ran is not
+        sharing, because that predecessor computed nothing."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        blocker_req = EvaluateRequest(tree, facilities[1], COUNT)
+        release = threading.Event()
+        started = threading.Event()
+
+        class GatedPlan:
+            def __init__(self, inner):
+                self.units = inner.units
+                self._inner = inner
+
+            def execute(self, runtime):
+                started.set()
+                assert release.wait(10)
+                return self._inner.execute(runtime)
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(
+                    rt, ServiceConfig(max_in_flight=1)
+                ) as svc:
+                    planner = svc.planner
+                    n_units = len(planner.plan(req).units)
+
+                    class GatedPlanner:
+                        gated = True  # only the blocker's plan is gated
+
+                        def plan(self, r):
+                            inner = planner.plan(r)
+                            if GatedPlanner.gated:
+                                GatedPlanner.gated = False
+                                return GatedPlan(inner)
+                            return inner
+
+                    svc.planner = GatedPlanner()
+                    # the blocker occupies the only bridge slot…
+                    blocker = asyncio.ensure_future(svc.submit(blocker_req))
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, started.wait, 10)
+                    # …so the victim claims its fresh units but parks at
+                    # the semaphore, where we kill it pre-execution
+                    victim = asyncio.ensure_future(svc.submit(req))
+                    b = asyncio.ensure_future(svc.submit(req))
+                    for _ in range(4):
+                        await asyncio.sleep(0)
+                    victim.cancel()
+                    with pytest.raises(asyncio.CancelledError):
+                        await victim
+                    c = asyncio.ensure_future(svc.submit(req))
+                    release.set()
+                    await blocker
+                    rb, rc = await asyncio.gather(b, c)
+                    return rb, rc, n_units, svc.stats
+
+        rb, rc, n_units, stats = asyncio.run(drive())
+        plain = evaluate_service(tree, facilities[0], COUNT)
+        assert rb.value == plain and rc.value == plain
+        # b rode the cancelled victim and recomputed (no sharing);
+        # only c, riding b's real work, counts
+        assert stats.probe_units_coalesced == n_units
+
+    def test_cancel_during_execution_serializes_successor(
+        self, tree, facilities
+    ):
+        """A cancel that lands while the core is already running cannot
+        abandon the thread: the orphaned core must keep its bridge slot
+        and its schedule position (successors wait for it), and its
+        stats must be accrued when it finishes — runtime totals reflect
+        the work that actually happened."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        release = threading.Event()
+        started = threading.Event()
+        events = []
+
+        class RecordingPlan:
+            def __init__(self, inner, label):
+                self.units = inner.units
+                self._inner = inner
+                self._label = label
+
+            def execute(self, runtime):
+                events.append(f"{self._label}-start")
+                if self._label == "victim":
+                    started.set()
+                    assert release.wait(10)
+                out = self._inner.execute(runtime)
+                events.append(f"{self._label}-end")
+                return out
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(
+                    rt, ServiceConfig(max_in_flight=2)
+                ) as svc:
+                    planner = svc.planner
+
+                    class GatedPlanner:
+                        labels = iter(("victim", "successor"))
+
+                        def plan(self, r):
+                            return RecordingPlan(
+                                planner.plan(r), next(self.labels)
+                            )
+
+                    svc.planner = GatedPlanner()
+                    victim = asyncio.ensure_future(svc.submit(req))
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, started.wait, 10)
+                    victim.cancel()
+                    with pytest.raises(asyncio.CancelledError):
+                        await victim
+                    # max_in_flight=2: a free bridge slot exists, so only
+                    # the done-future chain can (and must) hold this back
+                    successor = asyncio.ensure_future(svc.submit(req))
+                    for _ in range(6):
+                        await asyncio.sleep(0)
+                    assert not successor.done()
+                    assert "successor-start" not in events
+                    release.set()
+                    result = await successor
+                    assert svc.in_flight == 0
+                    return result, svc.stats, dataclasses.replace(rt.stats)
+
+        result, stats, totals = asyncio.run(drive())
+        # strict serialization: the orphan ran to completion first
+        assert events == [
+            "victim-start", "victim-end", "successor-start", "successor-end"
+        ]
+        assert result.value == evaluate_service(tree, facilities[0], COUNT)
+        assert stats.requests_cancelled == 1
+        assert stats.requests_completed == 1
+        # the orphan's stats were accrued: totals equal a sequential
+        # run of the same two queries on a fresh runtime
+        with QueryRuntime(_config("serial")) as base_rt:
+            _sync_baseline([req, req], base_rt)
+            assert totals == base_rt.stats
+
+    def test_base_exception_from_core_counted_failed(
+        self, tree, facilities
+    ):
+        """Even a BaseException out of a core (SystemExit) must settle
+        into an outcome counter, or the ServiceStats sum invariant
+        breaks."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+
+        async def drive():
+            with QueryRuntime(_config("serial")) as rt:
+                async with QueryService(rt) as svc:
+                    planner = svc.planner
+
+                    class ExplodingPlanner:
+                        def plan(self, r):
+                            inner = planner.plan(r)
+
+                            class Plan:
+                                units = inner.units
+
+                                def execute(self, runtime):
+                                    raise SystemExit(3)
+
+                            return Plan()
+
+                    svc.planner = ExplodingPlanner()
+                    with pytest.raises(SystemExit):
+                        await svc.submit(req)
+                    return svc.stats
+
+        stats = asyncio.run(drive())
+        assert stats.requests_failed == 1
+        assert (
+            stats.requests_completed
+            + stats.requests_failed
+            + stats.requests_cancelled
+            == stats.requests_submitted
+        )
+
     def test_config_validation(self):
         with pytest.raises(QueryError):
             ServiceConfig(max_in_flight=0)
@@ -428,11 +707,78 @@ class TestServiceLifecycle:
             try:
                 pool = rt.policy_executor._pool
                 assert pool is not None
-                # under fork (the hazard case) the first submit launches
-                # every worker; spawn platforms launch on demand
-                assert len(pool._processes) >= 1
+                # under fork — the hazard case — the first submit
+                # launches EVERY worker before the pool's manager
+                # thread exists (gh-90622 excludes fork from on-demand
+                # spawning); spawn/forkserver launch on demand but
+                # never fork() this multi-threaded parent
+                expected = (
+                    rt.policy_executor._workers
+                    if multiprocessing.get_start_method() == "fork"
+                    else 1
+                )
+                assert len(pool._processes) >= expected
             finally:
                 service.close()
+
+    def test_rebind_refused_while_orphaned_core_runs(self, tree, facilities):
+        """A core kept running by a cancelled submission must block loop
+        rebinding — a fresh loop would reset the unit table and let a
+        new request race the orphan on shared units."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        release = threading.Event()
+        started = threading.Event()
+
+        class GatedPlan:
+            def __init__(self, inner):
+                self.units = inner.units
+                self._inner = inner
+
+            def execute(self, runtime):
+                started.set()
+                assert release.wait(10)
+                return self._inner.execute(runtime)
+
+        with QueryRuntime(_config("serial")) as rt:
+            svc = QueryService(rt)
+            planner = svc.planner
+
+            class GatedPlanner:
+                def plan(self, r):
+                    return GatedPlan(planner.plan(r))
+
+            svc.planner = GatedPlanner()
+
+            async def cancel_mid_core():
+                victim = asyncio.ensure_future(svc.submit(req))
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, started.wait, 10)
+                victim.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await victim
+
+            asyncio.run(cancel_mid_core())
+            # loop #1 is gone; the orphan still runs on the bridge pool
+            assert svc.in_flight == 0
+            svc.planner = planner
+            try:
+                with pytest.raises(QueryError, match="another event loop"):
+                    asyncio.run(svc.submit(req))
+            finally:
+                release.set()
+            # once the orphan drains, rebinding works again
+            deadline = time.monotonic() + 10
+            while True:
+                with svc._core_lock:
+                    if svc._executing == 0:
+                        break
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            result = asyncio.run(svc.submit(req))
+            assert result.value == evaluate_service(
+                tree, facilities[0], COUNT
+            )
+            svc.close()
 
     def test_service_reusable_across_event_loops(self, tree, facilities):
         req = EvaluateRequest(tree, facilities[0], COUNT)
