@@ -1,0 +1,21 @@
+"""Shared helper for the example scripts.
+
+Each example is run as a script (``python examples/<name>.py``), so the
+examples directory is on ``sys.path`` and this module is importable as
+``_common`` from any of them.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scaled(n: int) -> int:
+    """Workload size, shrinkable via REPRO_EXAMPLE_SCALE (CI smoke)."""
+    try:
+        scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+    except ValueError:
+        scale = 1.0
+    if scale <= 0:
+        scale = 1.0
+    return max(2, int(round(n * scale)))

@@ -15,6 +15,8 @@ Run:  python examples/index_deep_dive.py
 
 from __future__ import annotations
 
+from _common import scaled
+
 from repro import (
     BBox,
     CityModel,
@@ -34,9 +36,10 @@ from repro.queries.range_search import (
 )
 
 
+
 def main() -> None:
     city = CityModel.generate(seed=42, size=12_000.0)
-    users = generate_taxi_trips(8_000, city, seed=1)
+    users = generate_taxi_trips(scaled(8_000), city, seed=1)
     routes = generate_bus_routes(8, city, seed=2, n_stops=32)
     spec = ServiceSpec(ServiceModel.ENDPOINT, psi=250.0)
 

@@ -13,6 +13,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+from _common import scaled
+
 from repro import (
     CityModel,
     ServiceModel,
@@ -25,10 +27,11 @@ from repro import (
 )
 
 
+
 def main() -> None:
     # A 12 km synthetic city with hotspot-skewed demand.
     city = CityModel.generate(seed=7, size=12_000.0, n_hotspots=8)
-    commuters = generate_taxi_trips(5_000, city, seed=1)
+    commuters = generate_taxi_trips(scaled(5_000), city, seed=1)
     routes = generate_bus_routes(32, city, seed=2, n_stops=24)
     print(f"city: {len(commuters)} commuter trips, {len(routes)} candidate routes")
 

@@ -15,6 +15,8 @@ Run:  python examples/tourist_bus_tours.py
 
 from __future__ import annotations
 
+from _common import scaled
+
 import time
 
 from repro import (
@@ -34,10 +36,11 @@ PSI = 350.0
 K = 3
 
 
+
 def main() -> None:
     city = CityModel.generate(seed=23, size=12_000.0, n_hotspots=9)
     tourists = generate_checkin_trajectories(
-        3_000, city, seed=5, min_points=4, max_points=9
+        scaled(3_000), city, seed=5, min_points=4, max_points=9
     )
     lines = generate_bus_routes(48, city, seed=6, n_stops=40)
     n_pois = sum(t.n_points for t in tourists)

@@ -20,6 +20,8 @@ Run:  python examples/transit_planning.py
 
 from __future__ import annotations
 
+from _common import scaled
+
 import time
 
 from repro import (
@@ -39,10 +41,11 @@ PSI = 300.0  # walking tolerance in metres
 K = 4  # fleet size
 
 
+
 def main() -> None:
     city = CityModel.generate(seed=11, size=12_000.0, n_hotspots=10)
-    day1 = generate_taxi_trips(6_000, city, seed=1)
-    day2 = generate_taxi_trips(6_000, city, seed=2, start_id=6_000)
+    day1 = generate_taxi_trips(scaled(6_000), city, seed=1)
+    day2 = generate_taxi_trips(scaled(6_000), city, seed=2, start_id=6_000)
     candidates = generate_bus_routes(64, city, seed=3, n_stops=32)
     spec = ServiceSpec(ServiceModel.ENDPOINT, psi=PSI)
 
@@ -76,7 +79,7 @@ def main() -> None:
         print("     because overlapping routes waste coverage (Section V)")
 
     # ---- 4. online update: a new day arrives ---------------------------
-    day3 = generate_taxi_trips(3_000, city, seed=4, start_id=12_000)
+    day3 = generate_taxi_trips(scaled(3_000), city, seed=4, start_id=12_000)
     t0 = time.perf_counter()
     for trip in day3:
         tree.insert(trip)

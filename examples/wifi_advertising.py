@@ -14,6 +14,8 @@ Run:  python examples/wifi_advertising.py
 
 from __future__ import annotations
 
+from _common import scaled
+
 import time
 
 from repro import (
@@ -31,10 +33,11 @@ PSI = 350.0
 K = 3
 
 
+
 def main() -> None:
     city = CityModel.generate(seed=31, size=12_000.0, n_hotspots=8)
     traces = generate_gps_traces(
-        800, city, seed=7, min_points=15, max_points=40
+        scaled(800), city, seed=7, min_points=15, max_points=40
     )
     routes = generate_bus_routes(32, city, seed=8, n_stops=48)
     total_km = sum(t.length for t in traces) / 1000.0

@@ -113,17 +113,24 @@ from .queries import (
     top_k_facilities,
 )
 from .service import (
+    Catalog,
     EvaluateRequest,
     ExactMaxKCovRequest,
     GeneticMaxKCovRequest,
+    HttpQueryServer,
     KMaxRRSTRequest,
     MaxKCovRequest,
     QueryResult,
     QueryService,
+    ServeClient,
     ServiceConfig,
     ServiceOverloaded,
     ServiceStats,
+    build_demo_catalog,
+    catalog_from_spec,
 )
+from .core.config import HttpConfig
+from .core.errors import CatalogError
 
 __version__ = "1.0.0"
 
@@ -170,6 +177,14 @@ __all__ = [
     "MaxKCovRequest",
     "ExactMaxKCovRequest",
     "GeneticMaxKCovRequest",
+    # HTTP serving front
+    "HttpConfig",
+    "HttpQueryServer",
+    "Catalog",
+    "CatalogError",
+    "ServeClient",
+    "build_demo_catalog",
+    "catalog_from_spec",
     # oracles
     "score_trajectory",
     "brute_force_service",

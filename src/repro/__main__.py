@@ -52,6 +52,18 @@ def main() -> int:
     print(f"\nMaxkCovRST (greedy fleet of 3, {dt:.0f} ms):")
     print(f"  routes {fleet.facility_ids()} together serve "
           f"{fleet.users_fully_served:,} commuters")
+
+    print(
+        "\nThese queries are meant to be served, not typed: run the "
+        "HTTP front with\n"
+        "  python -m repro.serve --catalog demo:4000:24:24\n"
+        "and ask the same question over the network:\n"
+        "  curl -s localhost:8314/query -d '{\"type\": \"kmaxrrst\", "
+        "\"tree\": \"demo\", \"facility_set\": \"demo\", \"k\": 3, "
+        "\"spec\": {\"model\": \"endpoint\", \"psi\": 300.0}}'\n"
+        "For the paper's full evaluation suite: "
+        "python -m repro.bench.figures"
+    )
     return 0
 
 

@@ -30,7 +30,7 @@ grow before submissions are rejected.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from .errors import IndexError_, QueryError
@@ -42,6 +42,7 @@ __all__ = [
     "TQTreeConfig",
     "RuntimeConfig",
     "ServiceConfig",
+    "HttpConfig",
     "SHARDS_AUTO",
     "auto_shard_count",
     "resolve_shard_count",
@@ -253,6 +254,64 @@ class ServiceConfig:
             raise QueryError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
             )
+
+
+@dataclass(frozen=True, slots=True)
+class HttpConfig:
+    """Settings for the stdlib HTTP front
+    (:class:`repro.service.http.HttpQueryServer` and the
+    ``python -m repro.serve`` CLI).
+
+    Bundles the transport knobs with the nested service and runtime
+    configurations the server builds its :class:`~repro.service
+    .QueryService` from — one object fully describes a serving
+    deployment.  Like every other config in this module, nothing here
+    changes a query answer.
+
+    Parameters
+    ----------
+    host / port:
+        The listen address.  ``port=0`` asks the OS for an ephemeral
+        port (the bound port is reported by the server once started —
+        what the tests and the benchmark harness use).
+    catalog:
+        The resource-catalog spec resolved at startup by
+        :func:`repro.service.http.catalog_from_spec` — which trees and
+        facility sets the server holds resident for wire requests to
+        reference by name (live index objects cannot cross the socket).
+    drain_timeout:
+        Upper bound in seconds :meth:`~repro.service.http
+        .HttpQueryServer.drain` waits for in-flight requests before
+        closing their connections anyway.
+    service / runtime:
+        The nested :class:`ServiceConfig` / :class:`RuntimeConfig` for
+        the server's query service and its execution runtime.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8314
+    catalog: str = "demo"
+    drain_timeout: float = 10.0
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise QueryError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise QueryError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if not self.catalog:
+            raise QueryError("catalog spec must be non-empty")
+        if not self.drain_timeout >= 0.0:  # also rejects NaN
+            raise QueryError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if not isinstance(self.service, ServiceConfig):
+            raise QueryError(f"service must be a ServiceConfig, got {self.service!r}")
+        if not isinstance(self.runtime, RuntimeConfig):
+            raise QueryError(f"runtime must be a RuntimeConfig, got {self.runtime!r}")
 
 
 class IndexVariant(enum.Enum):

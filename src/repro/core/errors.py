@@ -54,5 +54,16 @@ class ServiceOverloaded(QueryError):
     """
 
 
+class CatalogError(ReproError):
+    """Raised by the serving layer's resource catalog when a wire
+    request names a tree, facility set, or facility id that is not
+    registered.
+
+    Deliberately *not* a :class:`QueryError`: a missing resource is not
+    a malformed query, and the HTTP front maps the two differently
+    (404 versus 400).
+    """
+
+
 class DatasetError(ReproError):
     """Raised by synthetic dataset generators and the CSV I/O layer."""

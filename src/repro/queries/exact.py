@@ -142,7 +142,14 @@ def exact_max_k_coverage(
 
     A thin synchronous wrapper over :func:`exact_core` — the same
     substrate the async :class:`repro.service.QueryService` executes.
+    It also mirrors ``ExactMaxKCovRequest``'s validation: an empty
+    candidate set is a malformed query, not an empty fleet.
     """
+    if not facilities:
+        raise QueryError(
+            "facilities must be non-empty: an empty candidate set has "
+            "no fleet to return"
+        )
     runtime = coerce_runtime(runtime, None, cache)
     return exact_core(users, facilities, k, spec, match_fn, runtime)
 

@@ -232,7 +232,14 @@ def top_k_facilities(
 
     A thin synchronous wrapper over :func:`top_k_core` — the same
     substrate the async :class:`repro.service.QueryService` executes.
+    It also mirrors ``KMaxRRSTRequest``'s validation: an empty
+    candidate set is a malformed query, not an empty ranking.
     """
+    if not facilities:
+        raise QueryError(
+            "facilities must be non-empty: an empty candidate set has "
+            "no ranking to return"
+        )
     runtime = coerce_runtime(runtime, backend, cache)
     result = top_k_core(tree, facilities, k, spec, runtime)
     if runtime is not None:

@@ -241,7 +241,14 @@ def maxkcov_tq(
 
     A thin synchronous wrapper over :func:`maxkcov_core` — the same
     substrate the async :class:`repro.service.QueryService` executes.
+    It also mirrors ``MaxKCovRequest``'s validation: an empty candidate
+    set is a malformed query, not an empty fleet.
     """
+    if not facilities:
+        raise QueryError(
+            "facilities must be non-empty: an empty candidate set has "
+            "no fleet to return"
+        )
     runtime = coerce_runtime(runtime, backend, cache)
     result, local = maxkcov_core(tree, facilities, k, spec, prune_factor, runtime)
     if runtime is not None:

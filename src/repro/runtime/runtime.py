@@ -45,6 +45,7 @@ kept as deprecated shims that build a private runtime via
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 import threading
 import warnings
@@ -304,6 +305,17 @@ class QueryRuntime:
             out = self.stats
             self.stats = QueryStats()
         return out
+
+    def snapshot_stats(self) -> QueryStats:
+        """A consistent copy of the accrued totals.
+
+        Taken under the stats lock, so no concurrently accruing core
+        can tear the counters mid-merge — what the serving layer's
+        ``GET /stats`` reports while requests are in flight.  Mutating
+        the copy never perturbs the runtime's totals.
+        """
+        with _STATS_LOCK:
+            return dataclasses.replace(self.stats)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

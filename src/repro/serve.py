@@ -1,0 +1,195 @@
+"""``python -m repro.serve`` — run the HTTP serving front.
+
+Composes the full deployment stack from command-line flags — catalog
+(named trees + facility sets), :class:`~repro.runtime.QueryRuntime`
+(backend / policy / shards), :class:`~repro.service.QueryService`
+(admission + coalescing), :class:`~repro.service.http.HttpQueryServer`
+(transport) — serves until SIGINT/SIGTERM, then drains gracefully:
+in-flight requests complete, new ones are shed with 503.
+
+Quickstart::
+
+    PYTHONPATH=src python -m repro.serve --port 8314 &
+    curl -s localhost:8314/query -d '{
+        "type": "kmaxrrst", "tree": "demo", "facility_set": "demo",
+        "k": 3, "spec": {"model": "endpoint", "psi": 300.0}}'
+    curl -s localhost:8314/stats
+
+See ``--help`` for the catalog spec grammar and every serving knob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from typing import Optional, Sequence
+
+from .core.config import (
+    SHARDS_AUTO,
+    ExecutionPolicy,
+    HttpConfig,
+    ProximityBackend,
+    RuntimeConfig,
+    ServiceConfig,
+)
+from .core.errors import ReproError
+from .service.http import catalog_from_spec
+from .service.http.server import serving
+
+__all__ = ["build_parser", "config_from_args", "run", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Serve the paper's trajectory-coverage queries over HTTP "
+            "(stdlib only; POST /query, GET /stats, /healthz, /catalog)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=8314,
+        help="listen port (0 asks the OS for an ephemeral one)",
+    )
+    parser.add_argument(
+        "--catalog", default="demo",
+        help=(
+            "resource catalog spec: "
+            "'demo[:n_users[:n_facilities[:n_stops[:seed]]]]' for the "
+            "synthetic city, or 'csv:<users_path>:<facilities_path>[:beta]' "
+            "for datasets saved by repro.datasets (default: demo)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to wait for in-flight requests at shutdown",
+    )
+    service = parser.add_argument_group("service (admission + coalescing)")
+    service.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="request cores executing concurrently",
+    )
+    service.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admitted requests before submissions are shed with 503",
+    )
+    service.add_argument(
+        "--coalesce-window", type=float, default=0.0,
+        help="seconds to hold a request open for cross-request coalescing",
+    )
+    runtime = parser.add_argument_group("runtime (execution policy)")
+    runtime.add_argument(
+        "--backend", default="auto",
+        choices=[b.value for b in ProximityBackend],
+        help="proximity backend for exact psi-distance checks",
+    )
+    runtime.add_argument(
+        "--policy", default="threads",
+        choices=[p.value for p in ExecutionPolicy],
+        help="how sharded probes are scheduled",
+    )
+    runtime.add_argument(
+        "--shards", type=int, default=SHARDS_AUTO,
+        help="grid shard count (0 = auto per stop set)",
+    )
+    runtime.add_argument(
+        "--max-workers", type=int, default=None,
+        help="probe fan-out workers (default: machine-sized)",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> HttpConfig:
+    """Fold parsed flags into one validated :class:`HttpConfig`."""
+    return HttpConfig(
+        host=args.host,
+        port=args.port,
+        catalog=args.catalog,
+        drain_timeout=args.drain_timeout,
+        service=ServiceConfig(
+            max_in_flight=args.max_in_flight,
+            coalesce_window=args.coalesce_window,
+            queue_depth=args.queue_depth,
+        ),
+        runtime=RuntimeConfig(
+            backend=ProximityBackend(args.backend),
+            policy=args.policy,
+            shards=args.shards,
+            max_workers=args.max_workers,
+        ),
+    )
+
+
+def run(config: HttpConfig) -> int:
+    """Build the deployment described by ``config`` and serve until a
+    termination signal arrives."""
+    print(f"resolving catalog {config.catalog!r} ...", flush=True)
+    try:
+        catalog = catalog_from_spec(config.catalog)
+    except (ReproError, OSError) as exc:
+        # a bad spec or a missing CSV path is an operator mistake, not
+        # a crash: say what went wrong, exit like a CLI
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def amain() -> None:
+        async with serving(
+            catalog,
+            runtime_config=config.runtime,
+            service_config=config.service,
+            host=config.host,
+            port=config.port,
+            drain_timeout=config.drain_timeout,
+        ) as server:
+            host, port = server.address
+            trees = ", ".join(catalog.tree_names)
+            sets = ", ".join(catalog.facility_set_names)
+            print(
+                f"serving on http://{host}:{port}  "
+                f"(trees: {trees}; facility sets: {sets})"
+            )
+            print(
+                f"  try: curl -s {host}:{port}/query -d "
+                "'{\"type\": \"kmaxrrst\", "
+                f"\"tree\": \"{catalog.tree_names[0]}\", "
+                f"\"facility_set\": \"{catalog.facility_set_names[0]}\", "
+                "\"k\": 3, \"spec\": {\"model\": \"endpoint\", "
+                "\"psi\": 300.0}}'",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(sig, stop.set)
+            await server.serve_until(stop)
+            print("drained; shutting down")
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:  # platforms without add_signal_handler
+        pass
+    except (ReproError, OSError) as exc:
+        # bind failures (port in use, privileged port) are operator
+        # mistakes too: same clean exit as a bad catalog spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run(config)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

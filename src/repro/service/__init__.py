@@ -7,7 +7,9 @@ query layer's pure cores and derives their shareable probe units
 (:mod:`~repro.service.planner`), and the service schedules them —
 coalescing probe work across in-flight requests through the shared
 runtime, bounding concurrency and queue depth
-(:mod:`~repro.service.service`).
+(:mod:`~repro.service.service`).  On top sits the network story: the
+stdlib HTTP front (:mod:`~repro.service.http`) with its JSON wire
+schema, named resource catalog, and the ``python -m repro.serve`` CLI.
 
 One execution substrate, two entrypoints: the synchronous query
 functions and the async service both run the same query cores, so the
@@ -29,9 +31,25 @@ from .requests import (
     QueryResult,
 )
 from .service import QueryService, ServiceStats
+from .http import (
+    BackgroundServer,
+    Catalog,
+    HttpQueryServer,
+    ServeClient,
+    background_server,
+    build_demo_catalog,
+    catalog_from_spec,
+)
 
 __all__ = [
     "QueryService",
+    "Catalog",
+    "HttpQueryServer",
+    "BackgroundServer",
+    "background_server",
+    "build_demo_catalog",
+    "catalog_from_spec",
+    "ServeClient",
     "ServiceConfig",
     "ServiceStats",
     "ServiceOverloaded",

@@ -1,0 +1,53 @@
+"""The stdlib HTTP serving front over :class:`~repro.service.QueryService`.
+
+Three pieces, one per layer of the network story:
+
+* :mod:`~repro.service.http.wire` — the JSON codec between sockets and
+  the in-process request/result dataclasses;
+* :mod:`~repro.service.http.catalog` — named server-resident resources
+  (trees, facility sets) that wire requests reference, since live
+  index objects cannot cross the socket;
+* :mod:`~repro.service.http.server` / :mod:`~repro.service.http.client`
+  — the ``asyncio.start_server`` HTTP/1.1 server (routes, error
+  mapping, graceful drain) and the blocking stdlib client the tests
+  and benchmark drive it with.
+
+Run a server from the command line with ``python -m repro.serve``.
+"""
+
+from .catalog import Catalog, build_demo_catalog, catalog_from_spec
+from .client import HttpResponse, ServeClient
+from .server import (
+    BackgroundServer,
+    HttpQueryServer,
+    background_server,
+    serving,
+)
+from .wire import (
+    WireFleet,
+    WireRanking,
+    WireResult,
+    decode_request,
+    decode_result,
+    encode_result,
+    wire_result,
+)
+
+__all__ = [
+    "Catalog",
+    "build_demo_catalog",
+    "catalog_from_spec",
+    "HttpQueryServer",
+    "BackgroundServer",
+    "background_server",
+    "serving",
+    "ServeClient",
+    "HttpResponse",
+    "WireResult",
+    "WireRanking",
+    "WireFleet",
+    "decode_request",
+    "decode_result",
+    "encode_result",
+    "wire_result",
+]

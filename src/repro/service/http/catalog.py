@@ -1,0 +1,266 @@
+"""The server-side resource catalog: named trees and facility sets.
+
+Live :class:`~repro.index.TQTree` objects and facility lists cannot
+cross a socket, so the HTTP wire schema references them *by name*: a
+:class:`Catalog` holds the server-resident resources — registered once
+at startup from the ``datasets`` loaders or synthetic generators — and
+:func:`repro.service.http.wire.decode_request` resolves the names a
+wire request carries into the live objects the in-process
+:class:`~repro.service.requests.QueryRequest` dataclasses take.
+
+Lookup misses raise :class:`~repro.core.errors.CatalogError`, which the
+server maps to HTTP 404 — a missing resource, distinct from a malformed
+query (:class:`~repro.core.errors.QueryError` → 400).
+
+Two spec grammars build a catalog from the command line
+(:func:`catalog_from_spec`):
+
+* ``demo[:n_users[:n_facilities[:n_stops[:seed]]]]`` — the synthetic
+  city the benchmarks use, registered under the name ``demo``;
+* ``csv:<users_path>:<facilities_path>[:beta]`` — datasets written by
+  :func:`repro.datasets.save_trajectories` /
+  :func:`~repro.datasets.save_facilities`, registered under ``main``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...core.errors import CatalogError, QueryError
+from ...core.trajectory import FacilityRoute
+from ...datasets import (
+    CityModel,
+    generate_bus_routes,
+    generate_taxi_trips,
+    load_facilities,
+    load_trajectories,
+)
+from ...index import TQTree, build_tq_zorder
+
+__all__ = ["Catalog", "build_demo_catalog", "catalog_from_spec"]
+
+
+class Catalog:
+    """Named, server-resident query resources (see module docstring).
+
+    Registration happens at startup and is not synchronised; lookups
+    after startup are read-only and therefore safe from any thread the
+    server dispatches on.
+    """
+
+    def __init__(self) -> None:
+        self._trees: Dict[str, TQTree] = {}
+        self._tree_sources: Dict[str, str] = {}
+        self._facility_sets: Dict[str, Tuple[FacilityRoute, ...]] = {}
+        self._facility_index: Dict[str, Dict[int, FacilityRoute]] = {}
+        self._facility_sources: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_tree(self, name: str, tree: TQTree, source: str = "") -> None:
+        _check_name(name)
+        if name in self._trees:
+            raise CatalogError(f"tree {name!r} already registered")
+        self._trees[name] = tree
+        self._tree_sources[name] = source
+
+    def add_facility_set(
+        self, name: str, facilities: Iterable[FacilityRoute], source: str = ""
+    ) -> None:
+        _check_name(name)
+        if name in self._facility_sets:
+            raise CatalogError(f"facility set {name!r} already registered")
+        routes = tuple(facilities)
+        index: Dict[int, FacilityRoute] = {}
+        for route in routes:
+            if route.facility_id in index:
+                raise CatalogError(
+                    f"facility set {name!r} has duplicate facility id "
+                    f"{route.facility_id}"
+                )
+            index[route.facility_id] = route
+        self._facility_sets[name] = routes
+        self._facility_index[name] = index
+        self._facility_sources[name] = source
+
+    # ------------------------------------------------------------------
+    # lookup (CatalogError on a miss — the server's 404)
+    # ------------------------------------------------------------------
+    def tree(self, name: str) -> TQTree:
+        try:
+            return self._trees[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown tree {name!r} (registered: "
+                f"{sorted(self._trees) or 'none'})"
+            ) from None
+
+    def facility_set(self, name: str) -> Tuple[FacilityRoute, ...]:
+        try:
+            return self._facility_sets[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown facility set {name!r} (registered: "
+                f"{sorted(self._facility_sets) or 'none'})"
+            ) from None
+
+    def facility(self, set_name: str, facility_id: int) -> FacilityRoute:
+        self.facility_set(set_name)  # 404 on the set name first
+        try:
+            return self._facility_index[set_name][facility_id]
+        except KeyError:
+            raise CatalogError(
+                f"no facility {facility_id} in set {set_name!r}"
+            ) from None
+
+    def select(
+        self, set_name: str, facility_ids: Optional[Sequence[int]] = None
+    ) -> Tuple[FacilityRoute, ...]:
+        """The facilities a multi-facility request names.
+
+        ``facility_ids=None`` selects the whole set; an explicit list
+        selects those ids, in the given order.  Malformed ids (wrong
+        type) are a :class:`QueryError`; ids absent from the set are a
+        :class:`CatalogError` — the 400 / 404 split the server relies
+        on.
+        """
+        if facility_ids is None:
+            return self.facility_set(set_name)
+        if isinstance(facility_ids, (str, bytes)) or not isinstance(
+            facility_ids, Sequence
+        ):
+            raise QueryError(
+                f"facility_ids must be a list of integers, got "
+                f"{facility_ids!r}"
+            )
+        selected: List[FacilityRoute] = []
+        for fid in facility_ids:
+            if isinstance(fid, bool) or not isinstance(fid, int):
+                raise QueryError(
+                    f"facility_ids must be integers, got {fid!r}"
+                )
+            selected.append(self.facility(set_name, fid))
+        return tuple(selected)
+
+    # ------------------------------------------------------------------
+    # introspection (GET /catalog)
+    # ------------------------------------------------------------------
+    @property
+    def tree_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._trees))
+
+    @property
+    def facility_set_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._facility_sets))
+
+    def describe(self) -> dict:
+        """The JSON-ready shape ``GET /catalog`` returns."""
+        return {
+            "trees": {
+                name: {
+                    "n_trajectories": tree.n_trajectories,
+                    "height": tree.height(),
+                    "source": self._tree_sources[name],
+                }
+                for name, tree in sorted(self._trees.items())
+            },
+            "facility_sets": {
+                name: {
+                    "n_facilities": len(routes),
+                    "facility_ids": [f.facility_id for f in routes],
+                    "total_stops": sum(f.n_stops for f in routes),
+                    "source": self._facility_sources[name],
+                }
+                for name, routes in sorted(self._facility_sets.items())
+            },
+        }
+
+
+def _check_name(name: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise CatalogError(f"resource name must be a non-empty string, got {name!r}")
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def build_demo_catalog(
+    n_users: int = 2_000,
+    n_facilities: int = 32,
+    n_stops: int = 24,
+    seed: int = 7,
+    size: float = 10_000.0,
+    beta: int = 32,
+    name: str = "demo",
+) -> Catalog:
+    """A self-contained synthetic deployment: one city, one indexed
+    taxi workload, one bus network — both registered under ``name``."""
+    city = CityModel.generate(seed=seed, size=size)
+    users = generate_taxi_trips(n_users, city, seed=seed + 1)
+    routes = generate_bus_routes(n_facilities, city, seed=seed + 2, n_stops=n_stops)
+    catalog = Catalog()
+    catalog.add_tree(
+        name,
+        build_tq_zorder(users, beta=beta),
+        source=f"synthetic taxi trips (n={n_users}, seed={seed})",
+    )
+    catalog.add_facility_set(
+        name,
+        routes,
+        source=(
+            f"synthetic bus routes (n={n_facilities}, stops={n_stops}, "
+            f"seed={seed})"
+        ),
+    )
+    return catalog
+
+
+def catalog_from_spec(spec: str) -> Catalog:
+    """Resolve a CLI catalog spec (grammar in the module docstring)."""
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "demo":
+        defaults = (2_000, 32, 24, 7)
+        args = list(defaults)
+        if len(parts) - 1 > len(defaults):
+            raise CatalogError(
+                f"demo spec takes at most {len(defaults)} parameters "
+                f"(n_users:n_facilities:n_stops:seed), got {spec!r}"
+            )
+        for i, raw in enumerate(parts[1:]):
+            try:
+                args[i] = int(raw)
+            except ValueError:
+                raise CatalogError(
+                    f"demo spec parameter {i + 1} must be an integer, "
+                    f"got {raw!r}"
+                ) from None
+        return build_demo_catalog(*args)
+    if kind == "csv":
+        if len(parts) not in (3, 4):
+            raise CatalogError(
+                "csv spec is csv:<users_path>:<facilities_path>[:beta], "
+                f"got {spec!r}"
+            )
+        users_path, facilities_path = parts[1], parts[2]
+        beta = 32
+        if len(parts) == 4:
+            try:
+                beta = int(parts[3])
+            except ValueError:
+                raise CatalogError(
+                    f"csv spec beta must be an integer, got {parts[3]!r}"
+                ) from None
+        users = load_trajectories(users_path)
+        routes = load_facilities(facilities_path)
+        catalog = Catalog()
+        catalog.add_tree(
+            "main", build_tq_zorder(users, beta=beta), source=str(users_path)
+        )
+        catalog.add_facility_set("main", routes, source=str(facilities_path))
+        return catalog
+    raise CatalogError(
+        f"unknown catalog spec {spec!r} (expected 'demo[:...]' or "
+        "'csv:<users>:<facilities>[:beta]')"
+    )

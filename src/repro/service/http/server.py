@@ -1,0 +1,537 @@
+"""The stdlib HTTP/1.1 server over :class:`~repro.service.QueryService`.
+
+``asyncio.start_server`` plus a hand-rolled HTTP/1.1 framing layer —
+the container bakes no web framework, and the serving layer needs only
+four routes:
+
+* ``POST /query``  — answer one wire request (all five query types);
+* ``GET /stats``   — service + runtime counter snapshots;
+* ``GET /healthz`` — liveness (``ok`` serving, ``draining`` during
+  shutdown);
+* ``GET /catalog`` — the named resources wire requests may reference.
+
+**Error mapping.**  The transport never invents failure semantics — it
+projects the library's typed errors onto status codes:
+:class:`~repro.core.errors.ServiceOverloaded` → 503 with a
+``Retry-After`` header (admission control is load shedding, not
+failure); :class:`~repro.core.errors.CatalogError` → 404 (a name the
+server does not hold); :class:`~repro.core.errors.QueryError` and
+undecodable JSON → 400.  Anything else escaping a core is a genuine
+server bug and maps to 500 rather than being swallowed.
+
+**Drain.**  :meth:`HttpQueryServer.drain` stops accepting connections,
+lets every request already being processed run to completion (bounded
+by ``drain_timeout``), then closes idle keep-alive connections.  New
+``POST /query`` arrivals on existing connections during the drain are
+shed with 503 + ``Retry-After``.  In-flight work completes through the
+service's cancellation-safe scheduling — the drain never cancels an
+admitted request, exactly as a cancelled caller never perturbs the
+shared schedule.
+
+Connections are HTTP/1.1 keep-alive by default (``Connection: close``
+honoured); request framing is by ``Content-Length`` (no chunked
+bodies — every client this repo ships sends measured JSON).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ...core.config import RuntimeConfig, ServiceConfig
+from ...core.errors import CatalogError, QueryError, ServiceOverloaded
+from ...runtime import QueryRuntime
+from ..service import QueryService
+from . import wire
+from .catalog import Catalog
+
+__all__ = [
+    "HttpQueryServer",
+    "BackgroundServer",
+    "background_server",
+    "serving",
+]
+
+#: Framing bounds: a request line / header block / body larger than
+#: these is rejected rather than buffered without limit.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: What a 503 tells the client about when to come back.
+RETRY_AFTER_SECONDS = 1
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _ProtocolError(Exception):
+    """A malformed HTTP frame: carries the status to answer with."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class _Response:
+    status: int
+    payload: dict
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+
+class HttpQueryServer:
+    """One listening socket serving one :class:`QueryService` and one
+    :class:`Catalog` (see module docstring).
+
+    The server borrows both — it never closes the service or the
+    runtime; whoever composed the deployment (the ``repro.serve`` CLI,
+    :func:`background_server`, a test) owns their lifecycles.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        catalog: Catalog,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.service = service
+        self.catalog = catalog
+        self._host = host
+        self._port = port
+        self._drain_timeout = drain_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._busy = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)`` with any
+        ephemeral port (``port=0``) resolved."""
+        if self._server is not None:
+            raise QueryError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self._address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise QueryError("server not started")
+        return self._address
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests
+        (bounded by ``drain_timeout``), close remaining connections."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._busy:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._idle.wait(), self._drain_timeout)
+        for writer in list(self._writers):
+            writer.close()
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then drain — the CLI's main loop."""
+        await stop.wait()
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await self._read_request(reader)
+                except _ProtocolError as exc:
+                    await self._write_response(
+                        writer,
+                        _Response(
+                            exc.status,
+                            {"error": "bad_request", "detail": exc.detail},
+                        ),
+                        close=True,
+                    )
+                    return
+                if frame is None:
+                    return  # clean EOF between requests
+                method, path, headers, body = frame
+                self._busy += 1
+                self._idle.clear()
+                try:
+                    response = await self._dispatch(method, path, body)
+                finally:
+                    self._busy -= 1
+                    if self._busy == 0:
+                        self._idle.set()
+                close = self._draining or _wants_close(headers)
+                await self._write_response(writer, response, close=close)
+                if close:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # peer went away mid-frame; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close between requests
+            raise _ProtocolError(400, "truncated request line") from None
+        except asyncio.LimitOverrunError:
+            raise _ProtocolError(400, "request line too long") from None
+        if len(line) > MAX_REQUEST_LINE:
+            raise _ProtocolError(400, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _ProtocolError(400, f"malformed request line: {line!r}")
+        method, path, version = parts
+        if not version.startswith("HTTP/1."):
+            raise _ProtocolError(400, f"unsupported protocol {version!r}")
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            try:
+                raw = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                raise _ProtocolError(400, "truncated headers") from None
+            total += len(raw)
+            if total > MAX_HEADER_BYTES:
+                raise _ProtocolError(400, "headers too large")
+            stripped = raw.strip()
+            if not stripped:
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _ProtocolError(400, f"malformed header: {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            # Content-Length is the only framing this server speaks; a
+            # silently-ignored chunked body would desynchronize the
+            # connection (the chunk stream would parse as request lines)
+            raise _ProtocolError(
+                400,
+                "Transfer-Encoding is not supported; send a "
+                "Content-Length-framed body",
+            )
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise _ProtocolError(
+                400, f"bad Content-Length: {length_raw!r}"
+            ) from None
+        if length < 0:
+            raise _ProtocolError(400, f"bad Content-Length: {length_raw!r}")
+        if length > MAX_BODY_BYTES:
+            raise _ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> _Response:
+        path = path.split("?", 1)[0]
+        if path == "/query":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            return await self._handle_query(body)
+        if path == "/stats":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return _Response(200, self._stats_payload())
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            status = "draining" if self._draining else "ok"
+            return _Response(
+                200,
+                {"status": status, "in_flight": self.service.in_flight},
+            )
+        if path == "/catalog":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return _Response(200, self.catalog.describe())
+        return _Response(
+            404,
+            {
+                "error": "not_found",
+                "detail": f"no route {path!r} (try /query, /stats, "
+                "/healthz, /catalog)",
+            },
+        )
+
+    async def _handle_query(self, body: bytes) -> _Response:
+        if self._draining:
+            return _overloaded("server is draining; retry against a peer")
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            return _Response(
+                400,
+                {"error": "bad_request", "detail": f"body is not valid JSON: {exc}"},
+            )
+        try:
+            request = wire.decode_request(payload, self.catalog)
+        except CatalogError as exc:
+            return _Response(404, {"error": "not_found", "detail": str(exc)})
+        except QueryError as exc:
+            return _Response(400, {"error": "bad_request", "detail": str(exc)})
+        except Exception as exc:
+            # a decode surprise (a validation the codec missed) must
+            # never kill the connection: it is still the client's body
+            return _Response(
+                400,
+                {
+                    "error": "bad_request",
+                    "detail": f"undecodable request: {type(exc).__name__}: {exc}",
+                },
+            )
+        try:
+            result = await self.service.submit(request)
+        except ServiceOverloaded as exc:
+            return _overloaded(str(exc))
+        except QueryError as exc:
+            # a core-raised QueryError (the request constructed, so this
+            # is an execution-time complaint): still the client's 400
+            return _Response(400, {"error": "bad_request", "detail": str(exc)})
+        except Exception as exc:  # pragma: no cover - genuine server bug
+            return _Response(
+                500,
+                {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+        return _Response(200, wire.encode_result(result))
+
+    def _stats_payload(self) -> dict:
+        return {
+            "service": wire.encode_service_stats(self.service.stats),
+            "runtime": wire.encode_query_stats(
+                self.service.runtime.snapshot_stats()
+            ),
+            "in_flight": self.service.in_flight,
+        }
+
+    # ------------------------------------------------------------------
+    # response writing
+    # ------------------------------------------------------------------
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: _Response, close: bool
+    ) -> None:
+        body = json.dumps(response.payload).encode("utf-8")
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in response.headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def _wants_close(headers: Dict[str, str]) -> bool:
+    return headers.get("connection", "").lower() == "close"
+
+
+def _method_not_allowed(allowed: str) -> _Response:
+    return _Response(
+        405,
+        {"error": "method_not_allowed", "detail": f"use {allowed}"},
+        headers=(("Allow", allowed),),
+    )
+
+
+def _overloaded(detail: str) -> _Response:
+    return _Response(
+        503,
+        {"error": "overloaded", "detail": detail},
+        headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+    )
+
+
+# ----------------------------------------------------------------------
+# deployment composition (shared by the CLI and in-process embedding)
+# ----------------------------------------------------------------------
+@contextlib.asynccontextmanager
+async def serving(
+    catalog: Catalog,
+    runtime_config: Optional[RuntimeConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    drain_timeout: float = 10.0,
+):
+    """Compose and start the full deployment (runtime → service →
+    HTTP server), yield the started server, and tear it down in
+    dependency order on exit: drain (unless the body already did),
+    close the service off-loop (``close()`` joins running cores — a
+    blocking join on the loop would stall any drain-time writes), then
+    close the runtime."""
+    runtime = QueryRuntime(
+        runtime_config if runtime_config is not None else RuntimeConfig()
+    )
+    try:
+        service = QueryService(runtime, service_config)
+        try:
+            server = HttpQueryServer(
+                service,
+                catalog,
+                host=host,
+                port=port,
+                drain_timeout=drain_timeout,
+            )
+            await server.start()
+            try:
+                yield server
+            finally:
+                if not server.draining:
+                    await server.drain()
+        finally:
+            await asyncio.get_running_loop().run_in_executor(
+                None, service.close
+            )
+    finally:
+        runtime.close()
+
+
+# ----------------------------------------------------------------------
+# in-process embedding (tests, benchmarks, notebooks)
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """A running server on its own thread + event loop.
+
+    Created by :func:`background_server`; exposes the bound address and
+    a thread-safe :meth:`drain` so a synchronous caller (a test, the
+    benchmark harness) can drive a real socket without owning an event
+    loop.
+    """
+
+    def __init__(self) -> None:
+        self.address: Optional[Tuple[str, int]] = None
+        self.server: Optional[HttpQueryServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Run the server's drain on its loop; returns when complete."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        future.result(timeout)
+
+    def service_stats(self):
+        """Snapshot of the served :class:`QueryService`'s counters."""
+        return self.server.service.stats
+
+
+@contextlib.contextmanager
+def background_server(
+    catalog: Catalog,
+    runtime_config: Optional[RuntimeConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    drain_timeout: float = 10.0,
+):
+    """Run a fully composed server (runtime → service → HTTP) on a
+    background thread; yields a :class:`BackgroundServer`.
+
+    On exit the server drains, the service closes (waiting for running
+    cores), and the runtime shuts down — the complete deployment
+    teardown, in dependency order.
+    """
+    handle = BackgroundServer()
+
+    def runner() -> None:
+        async def main() -> None:
+            async with serving(
+                catalog,
+                runtime_config=runtime_config,
+                service_config=service_config,
+                host=host,
+                port=port,
+                drain_timeout=drain_timeout,
+            ) as server:
+                handle.address = server.address
+                handle.server = server
+                handle._loop = asyncio.get_running_loop()
+                handle._stop = asyncio.Event()
+                handle._ready.set()
+                await handle._stop.wait()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # startup or teardown failure
+            handle._error = exc
+            handle._ready.set()
+
+    thread = threading.Thread(
+        target=runner, name="repro-http-server", daemon=True
+    )
+    thread.start()
+    handle._ready.wait(60)
+    if handle._error is not None:
+        raise handle._error
+    if handle.address is None:
+        raise QueryError("HTTP server failed to start within 60s")
+    try:
+        yield handle
+    finally:
+        if handle._loop is not None and handle._loop.is_running():
+            handle._loop.call_soon_threadsafe(handle._stop.set)
+        thread.join(60)
+        if thread.is_alive():  # pragma: no cover - teardown hang
+            raise QueryError("HTTP server failed to shut down within 60s")

@@ -61,6 +61,22 @@ class EvaluateRequest:
     collect_matches: bool = False
 
 
+def _require_facilities(facilities: Tuple[FacilityRoute, ...]) -> None:
+    """Reject an empty candidate set at construction.
+
+    An empty tuple used to be accepted and silently produce an empty
+    ranking/fleet for ``k >= 1`` — over HTTP that is a 200 with an
+    empty answer for a malformed request.  Rejected eagerly, exactly
+    like the ``k <= 0`` validation next to it (and mirrored in the
+    synchronous entry points).
+    """
+    if not facilities:
+        raise QueryError(
+            "facilities must be non-empty: an empty candidate set has "
+            "no ranking or fleet to return"
+        )
+
+
 @dataclass(frozen=True)
 class KMaxRRSTRequest:
     """The k individually best facilities (Algorithms 3/4)."""
@@ -72,6 +88,7 @@ class KMaxRRSTRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "facilities", tuple(self.facilities))
+        _require_facilities(self.facilities)
         if self.k <= 0:
             raise QueryError(f"k must be positive, got {self.k}")
 
@@ -88,6 +105,7 @@ class MaxKCovRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "facilities", tuple(self.facilities))
+        _require_facilities(self.facilities)
         if self.k <= 0:
             raise QueryError(f"k must be positive, got {self.k}")
         if self.prune_factor < 1:
@@ -111,6 +129,7 @@ class ExactMaxKCovRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "facilities", tuple(self.facilities))
+        _require_facilities(self.facilities)
         if self.k <= 0:
             raise QueryError(f"k must be positive, got {self.k}")
 
@@ -131,6 +150,7 @@ class GeneticMaxKCovRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "facilities", tuple(self.facilities))
+        _require_facilities(self.facilities)
         if self.k <= 0:
             raise QueryError(f"k must be positive, got {self.k}")
 

@@ -58,6 +58,7 @@ executes the same pure core its synchronous wrapper runs.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -154,7 +155,15 @@ class QueryService:
         # clone another thread's held lock and deadlock the worker
         self.runtime.prepare()
         self.planner = QueryPlanner()
-        self.stats = ServiceStats()
+        # the live counters stay private: they are mutated from the
+        # event loop *and* from bridge-side reapers, so handing the
+        # mutable instance to callers would let them read torn counters
+        # mid-update — or corrupt the service's accounting by
+        # assignment.  The public :attr:`stats` property snapshots
+        # under this lock (the same discipline QueryRuntime's stats
+        # lock applies one layer down).
+        self._stats = ServiceStats()
+        self._stats_lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_in_flight,
             thread_name_prefix="repro-service",
@@ -245,14 +254,16 @@ class QueryService:
         loop = self._bind_loop()
         plan = self.planner.plan(request)  # validates the request type
         if self._pending >= self.config.queue_depth:
-            self.stats.requests_rejected += 1
+            with self._stats_lock:
+                self._stats.requests_rejected += 1
             raise ServiceOverloaded(
                 f"admission queue full ({self.config.queue_depth} requests "
                 "admitted); retry later or raise ServiceConfig.queue_depth"
             )
         self._pending += 1
-        self.stats.requests_submitted += 1
-        self.stats.probe_units_planned += len(plan.units)
+        with self._stats_lock:
+            self._stats.requests_submitted += 1
+            self._stats.probe_units_planned += len(plan.units)
         done: asyncio.Future = loop.create_future()
         predecessors = set()
         coalesced_units: List[ProbeUnit] = []
@@ -288,9 +299,10 @@ class QueryService:
                 # unit was truly served from shared work only if some
                 # earlier chain member actually executed (a predecessor
                 # cancelled before its core ran computed nothing)
-                for unit in coalesced_units:
-                    if self._chain_executed.get(unit):
-                        self.stats.probe_units_coalesced += 1
+                with self._stats_lock:
+                    for unit in coalesced_units:
+                        if self._chain_executed.get(unit):
+                            self._stats.probe_units_coalesced += 1
                 with self._core_lock:
                     self._executing += 1
                 try:
@@ -333,18 +345,21 @@ class QueryService:
             # CancelledError is a BaseException: without this branch a
             # cancelled request would count in requests_submitted but in
             # no outcome counter
-            self.stats.requests_cancelled += 1
+            with self._stats_lock:
+                self._stats.requests_cancelled += 1
             raise
         except BaseException:
             # BaseException, not Exception: a core raising SystemExit/
             # KeyboardInterrupt must still land in an outcome counter or
             # the ServiceStats sum invariant breaks
-            self.stats.requests_failed += 1
+            with self._stats_lock:
+                self._stats.requests_failed += 1
             raise
         finally:
             self._pending -= 1
             self._resolve(done, predecessors, plan.units, exec_future)
-        self.stats.requests_completed += 1
+        with self._stats_lock:
+            self._stats.requests_completed += 1
         return result
 
     def _run_core(self, plan):
@@ -478,6 +493,21 @@ class QueryService:
 
     # ------------------------------------------------------------------
     @property
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the serving-layer counters.
+
+        The live instance is private and mutated concurrently (event
+        loop plus bridge-side reapers); the snapshot is taken under the
+        service's stats lock so its counters are mutually consistent —
+        in particular the outcome-sum invariant (``completed + failed +
+        cancelled == submitted``) holds in any snapshot taken after the
+        workload drains.  Mutating the returned object never perturbs
+        the service's own accounting.
+        """
+        with self._stats_lock:
+            return dataclasses.replace(self._stats)
+
+    @property
     def in_flight(self) -> int:
         """Requests currently admitted (queued or executing).  A core
         kept running by a cancelled submission is no longer a request
@@ -486,8 +516,9 @@ class QueryService:
         return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats
         return (
             f"QueryService(pending={self._pending}, "
-            f"completed={self.stats.requests_completed}, "
-            f"dedup_rate={self.stats.dedup_rate:.2f})"
+            f"completed={snapshot.requests_completed}, "
+            f"dedup_rate={snapshot.dedup_rate:.2f})"
         )

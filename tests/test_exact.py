@@ -63,9 +63,11 @@ class TestExact:
         with pytest.raises(QueryError):
             exact_max_k_coverage(taxi_users, facilities, 0, endpoint_spec, lambda f: {})
 
-    def test_empty_facilities(self, taxi_users, endpoint_spec):
-        result = exact_max_k_coverage(taxi_users, [], 2, endpoint_spec, lambda f: {})
-        assert result.selection == ()
+    def test_empty_facilities_rejected(self, taxi_users, endpoint_spec):
+        # an empty candidate set is a malformed query, not an empty
+        # fleet (the serving-layer hardening fix)
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            exact_max_k_coverage(taxi_users, [], 2, endpoint_spec, lambda f: {})
 
     def test_k_covers_all_facilities(self, taxi_users, facilities, endpoint_spec):
         fn = match_fn_for(taxi_users, endpoint_spec)

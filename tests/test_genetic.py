@@ -96,12 +96,13 @@ class TestGeneticSolver:
         )
         assert len(result.selection) == len(facilities)
 
-    def test_empty_facilities(self, taxi_users, endpoint_spec):
-        result = genetic_max_k_coverage(
-            taxi_users, [], 3, endpoint_spec, lambda f: {}
-        )
-        assert result.selection == ()
-        assert result.combined_service == 0.0
+    def test_empty_facilities_rejected(self, taxi_users, endpoint_spec):
+        # an empty candidate set is a malformed query, not an empty
+        # fleet (the serving-layer hardening fix)
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            genetic_max_k_coverage(
+                taxi_users, [], 3, endpoint_spec, lambda f: {}
+            )
 
     def test_invalid_k(self, taxi_users, facilities, endpoint_spec):
         with pytest.raises(QueryError):

@@ -92,10 +92,13 @@ class TestTopK:
         with pytest.raises(QueryError):
             top_k_facilities(tree, facilities, -2, endpoint_spec)
 
-    def test_empty_facility_list(self, taxi_users, endpoint_spec):
+    def test_empty_facility_list_rejected(self, taxi_users, endpoint_spec):
+        # an empty candidate set is a malformed query, not an empty
+        # ranking (the serving-layer hardening fix: over HTTP the old
+        # behaviour was a 200 with an empty answer)
         tree = build_tq_zorder(taxi_users, beta=16)
-        result = top_k_facilities(tree, [], 3, endpoint_spec)
-        assert result.ranking == ()
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            top_k_facilities(tree, [], 3, endpoint_spec)
 
     def test_facility_serving_nothing_ranks_zero(self, taxi_users, endpoint_spec):
         tree = build_tq_zorder(taxi_users, beta=16)

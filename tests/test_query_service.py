@@ -161,6 +161,18 @@ def _assert_result_equal(req, result, expected, expected_stats):
     assert result.stats == expected_stats
 
 
+def _assert_outcomes_sum(stats):
+    """The ServiceStats outcome invariant (pinned across every
+    cancellation-wave test): once a workload drains, every admitted
+    request has settled into exactly one outcome counter."""
+    assert (
+        stats.requests_completed
+        + stats.requests_failed
+        + stats.requests_cancelled
+        == stats.requests_submitted
+    )
+
+
 class TestServiceDifferential:
     """Service answers == synchronous answers, per request and in total,
     for all five request types under every execution policy."""
@@ -386,12 +398,7 @@ class TestAdmissionControl:
         assert stats.requests_cancelled == 1
         assert stats.requests_failed == 0
         # every admitted request settled into exactly one outcome
-        assert (
-            stats.requests_completed
-            + stats.requests_failed
-            + stats.requests_cancelled
-            == stats.requests_submitted
-        )
+        _assert_outcomes_sum(stats)
 
     def test_cancelled_request_frees_admission_capacity(
         self, tree, facilities
@@ -437,6 +444,7 @@ class TestAdmissionControl:
         assert stats.requests_cancelled == 6
         assert stats.requests_rejected == 0
         assert stats.requests_completed == 2
+        _assert_outcomes_sum(stats)
 
     def test_dedup_not_counted_for_cancelled_predecessor(
         self, tree, facilities
@@ -504,6 +512,7 @@ class TestAdmissionControl:
         # b rode the cancelled victim and recomputed (no sharing);
         # only c, riding b's real work, counts
         assert stats.probe_units_coalesced == n_units
+        _assert_outcomes_sum(stats)
 
     def test_cancel_during_execution_serializes_successor(
         self, tree, facilities
@@ -575,6 +584,7 @@ class TestAdmissionControl:
         assert result.value == evaluate_service(tree, facilities[0], COUNT)
         assert stats.requests_cancelled == 1
         assert stats.requests_completed == 1
+        _assert_outcomes_sum(stats)
         # the orphan's stats were accrued: totals equal a sequential
         # run of the same two queries on a fresh runtime
         with QueryRuntime(_config("serial")) as base_rt:
@@ -613,12 +623,7 @@ class TestAdmissionControl:
 
         stats = asyncio.run(drive())
         assert stats.requests_failed == 1
-        assert (
-            stats.requests_completed
-            + stats.requests_failed
-            + stats.requests_cancelled
-            == stats.requests_submitted
-        )
+        _assert_outcomes_sum(stats)
 
     def test_config_validation(self):
         with pytest.raises(QueryError):
@@ -801,6 +806,36 @@ class TestServiceLifecycle:
             service.close()
             assert rt.executor is not None
 
+    def test_stats_is_a_consistent_snapshot(self, tree, facilities):
+        """The public ``stats`` accessor returns a copy: mutating (or
+        even assigning through) a snapshot must never perturb the
+        service's own accounting — the torn-counter / corruption
+        regression the HTTP ``GET /stats`` endpoint would amplify."""
+        req = EvaluateRequest(tree, facilities[0], COUNT)
+        with QueryRuntime(_config("serial")) as rt:
+            service = QueryService(rt)
+            try:
+                asyncio.run(service.submit(req))
+                snapshot = service.stats
+                assert snapshot.requests_completed == 1
+                # fresh object per read, not the live instance
+                assert snapshot is not service.stats
+                # a caller scribbling on a snapshot changes nothing
+                snapshot.requests_completed = 10_000
+                snapshot.requests_submitted = -5
+                assert service.stats.requests_completed == 1
+                assert service.stats.requests_submitted == 1
+                # the accessor is read-only: the live counters cannot be
+                # replaced wholesale by assignment
+                with pytest.raises(AttributeError):
+                    service.stats = snapshot
+                # counters keep accruing into the (private) live object
+                asyncio.run(service.submit(req))
+                assert service.stats.requests_completed == 2
+                _assert_outcomes_sum(service.stats)
+            finally:
+                service.close()
+
     def test_service_value_property(self, tree, facilities):
         async def drive():
             async with QueryService(QueryRuntime(_config("serial"))) as svc:
@@ -818,3 +853,47 @@ class TestServiceLifecycle:
         assert cov.service_value == cov.value.combined_service
         with pytest.raises(QueryError):
             top.service_value
+
+
+class TestEmptyFacilitiesValidation:
+    """The empty-candidate-set bugfix: requests (and their sync entry
+    points) must reject ``facilities=()`` eagerly, exactly like the
+    ``k <= 0`` validation — previously construction succeeded and
+    ``plan().execute()`` returned an empty ranking/fleet, which over
+    HTTP becomes a 200 with an empty answer for a malformed request."""
+
+    REQUEST_TYPES = (
+        KMaxRRSTRequest,
+        MaxKCovRequest,
+        ExactMaxKCovRequest,
+        GeneticMaxKCovRequest,
+    )
+
+    @pytest.mark.parametrize("request_type", REQUEST_TYPES)
+    def test_request_construction_rejects_empty_facilities(
+        self, request_type, tree
+    ):
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            request_type(tree, (), 3, ENDPOINT)
+        # any empty iterable is rejected, not just the literal tuple
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            request_type(tree, [], 3, ENDPOINT)
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            request_type(tree, iter(()), 3, ENDPOINT)
+
+    @pytest.mark.parametrize("request_type", REQUEST_TYPES)
+    def test_single_facility_still_accepted(
+        self, request_type, tree, facilities
+    ):
+        request = request_type(tree, (facilities[0],), 1, ENDPOINT)
+        assert request.facilities == (facilities[0],)
+
+    def test_sync_entry_points_mirror_the_check(self, tree, taxi_users):
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            top_k_facilities(tree, [], 3, ENDPOINT)
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            maxkcov_tq(tree, [], 2, ENDPOINT)
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            exact_max_k_coverage(taxi_users, [], 2, ENDPOINT, lambda f: {})
+        with pytest.raises(QueryError, match="facilities must be non-empty"):
+            genetic_max_k_coverage(taxi_users, [], 2, ENDPOINT, lambda f: {})
