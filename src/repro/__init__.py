@@ -55,6 +55,8 @@ from .core import (
 from .engine import (
     BatchQueryEngine,
     BatchResult,
+    CellstringIndex,
+    CellstringStopSet,
     CoverageCache,
     GriddedStopSet,
     ShardedStopGrid,
@@ -62,6 +64,7 @@ from .engine import (
     ShardStore,
     StopGrid,
     backend_stops,
+    build_cellstring_index,
 )
 from .runtime import (
     SHARDS_AUTO,
@@ -161,6 +164,9 @@ __all__ = [
     "ShardedStopGrid",
     "ShardedStopSet",
     "ShardStore",
+    "CellstringIndex",
+    "CellstringStopSet",
+    "build_cellstring_index",
     # execution runtime
     "QueryRuntime",
     "RuntimeConfig",

@@ -65,9 +65,20 @@ class ProximityBackend(enum.Enum):
     check gathers candidate stops from the 3x3 surrounding cells only
     (see :class:`repro.engine.StopGrid`)."""
 
+    CELLSTRING = "cellstring"
+    """Precomputed supercover cellstrings: the stop set's ``psi``-disc
+    union is rasterized once into sorted int64 Morton-key arrays at a
+    coarse and a fine level, so a probe is sorted-array membership —
+    the exact kernel runs only for cells the disc boundary crosses
+    (see :class:`repro.engine.CellstringStopSet`).  Highest build cost,
+    cheapest repeated probes: the serving-workload tier."""
+
     AUTO = "auto"
-    """Grid for stop-dense sets, dense broadcast below a stop-count
-    threshold where grid bookkeeping costs more than it saves."""
+    """Pick per stop set: dense broadcast below a stop-count threshold
+    where grid bookkeeping costs more than it saves, the live grid for
+    mid-sized sets, and precomputed cellstrings for stop counts large
+    enough to amortise rasterization
+    (:data:`repro.engine.cellstring.AUTO_CELLSTRING_MIN_STOPS`)."""
 
 
 class ExecutionPolicy(enum.Enum):

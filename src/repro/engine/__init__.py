@@ -27,6 +27,12 @@ facility's stops?" — without ever changing an answer.  Three pieces:
   one), with per-shard :class:`~repro.core.stats.QueryStats` merged back
   into the caller's totals and built shards shared across facilities by
   stop-coordinate content hash.
+* :class:`CellstringIndex` / :class:`CellstringStopSet`
+  (:mod:`.cellstring`) — the stop set's ``psi``-disc union rasterized
+  once into sorted Morton-key arrays (coarse reject, fine-interior
+  accept, exact kernel only in boundary cells), so repeated probes of a
+  static facility become sorted-array membership; builds are shared by
+  content through the same :class:`ShardStore`.
 
 **When the grid wins:** stop-dense facilities (hundreds of stops) with
 small ``psi`` relative to the stop extent — the dense broadcast pays
@@ -46,6 +52,12 @@ differential-tested (``tests/test_engine_oracle.py``).
 
 from .batch import BatchQueryEngine, BatchResult
 from .cache import CoverageCache
+from .cellstring import (
+    AUTO_CELLSTRING_MIN_STOPS,
+    CellstringIndex,
+    CellstringStopSet,
+    build_cellstring_index,
+)
 from .grid import AUTO_MIN_STOPS, GriddedStopSet, StopGrid, backend_stops
 from .shards import ShardedStopGrid, ShardedStopSet, ShardStore, StopShard
 
@@ -54,6 +66,10 @@ __all__ = [
     "GriddedStopSet",
     "backend_stops",
     "AUTO_MIN_STOPS",
+    "AUTO_CELLSTRING_MIN_STOPS",
+    "CellstringIndex",
+    "CellstringStopSet",
+    "build_cellstring_index",
     "CoverageCache",
     "BatchQueryEngine",
     "BatchResult",

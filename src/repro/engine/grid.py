@@ -64,21 +64,46 @@ def _snap_origin(vmin: float, cell: float) -> float:
     Rounding in ``floor(vmin / cell) * cell`` can land a hair above
     ``vmin``, which would push the minimum stop into cell index -1; step
     one cell down when it does so indices stay non-negative.
+
+    ``vmin / cell`` can overflow to infinity outright (tiny derived
+    cells under huge coordinates — an all-coincident stop set with a
+    subnormal ``psi``); any origin at or below ``vmin`` keeps masks
+    exact (snapping only improves :class:`~repro.engine.shards
+    .ShardStore` slice sharing), so fall back to ``vmin`` itself rather
+    than propagate a non-finite origin into every cell index.
     """
     origin = np.floor(vmin / cell) * cell
+    if not np.isfinite(origin):
+        return float(vmin)
     if origin > vmin:
         origin -= cell
     return float(origin)
 
 
 def _derive_cell_size(psi: float, extent: float) -> float:
-    """A safe cell edge: ``> psi``, and never more than ~1M cells/axis."""
+    """A safe cell edge: ``> psi`` strictly, never more than ~1M cells/axis.
+
+    Every branch re-checks the strict ``cell > psi`` invariant the 3x3
+    argument rests on, because near the float minimum the arithmetic
+    that normally guarantees it degrades: ``psi * (1 + margin)`` rounds
+    back to ``psi`` for subnormal ``psi``, and ``extent / 64`` can
+    underflow to ``0``.  Such inputs fall through to wider candidates,
+    ending at ``1.0`` (which exceeds any ``psi`` that reaches a
+    fallthrough).  The cells-per-axis clamp keeps the invariant too:
+    it only engages when ``extent > cap * cell > cap * psi``, but the
+    guard re-checks rather than trusting float division.
+    """
     cell = psi * (1.0 + _CELL_MARGIN)
-    if cell <= 0.0:
-        # psi == 0: exact-coincidence serving; any positive cell works.
-        cell = extent / 64.0 if extent > 0.0 else 1.0
+    if not cell > psi:
+        # psi == 0 (exact-coincidence serving) or subnormal psi whose
+        # scaled value rounded back down.
+        cell = extent / 64.0
+        if not cell > psi:
+            cell = 1.0
     if extent > 0.0 and extent / cell > _MAX_CELLS_PER_AXIS:
-        cell = extent / _MAX_CELLS_PER_AXIS
+        clamped = extent / _MAX_CELLS_PER_AXIS
+        if clamped > psi:
+            cell = clamped
     return cell
 
 
@@ -117,13 +142,34 @@ def _grid_geometry(
     return cell, _snap_origin(float(xmin), cell), _snap_origin(float(ymin), cell)
 
 
+#: Clamp on floor quotients before the int64 cast.  Probe points far
+#: outside a tiny-celled grid can overflow the division (past 2**63 or
+#: to infinity), making the float-to-int cast undefined.  Real cell
+#: indices are bounded by ``_MAX_CELLS_PER_AXIS`` plus one, far below
+#: the clamp, so a clamped value never aliases a populated cell: extra
+#: *candidates* are always filtered by the exact kernel, and clamping
+#: never removes an in-range index — so masks are unaffected.  The
+#: clamp stays low enough that neighbour-key arithmetic (the sharded
+#: row stride is 2**21) cannot overflow int64 either.
+_INDEX_CLAMP = float(np.int64(1) << np.int64(40))
+
+
 def _cell_indices_of(
     pts: np.ndarray, ox: float, oy: float, cell: float
 ) -> np.ndarray:
     """Integer cell coordinates of ``pts`` (may be negative)."""
     out = np.empty(pts.shape, dtype=np.int64)
-    np.floor((pts[:, 0] - ox) / cell, out=out[:, 0], casting="unsafe")
-    np.floor((pts[:, 1] - oy) / cell, out=out[:, 1], casting="unsafe")
+    qx = np.floor((pts[:, 0] - ox) / cell)
+    qy = np.floor((pts[:, 1] - oy) / cell)
+    # NaN coordinates (and NaN - inf arithmetic) survive np.clip; pin
+    # them to the clamp so the int cast is defined and the point lands
+    # outside every populated cell — a sound rejection, not UB.
+    np.nan_to_num(qx, copy=False, nan=_INDEX_CLAMP)
+    np.nan_to_num(qy, copy=False, nan=_INDEX_CLAMP)
+    np.clip(qx, -_INDEX_CLAMP, _INDEX_CLAMP, out=qx)
+    np.clip(qy, -_INDEX_CLAMP, _INDEX_CLAMP, out=qy)
+    out[:, 0] = qx
+    out[:, 1] = qy
     return out
 
 
@@ -366,13 +412,30 @@ def backend_stops(
 ) -> StopSet:
     """``stops`` dressed for ``backend``.
 
-    ``DENSE``/``None`` returns the set unchanged; ``GRID`` always grids;
-    ``AUTO`` grids only stop sets large enough to win
-    (:data:`AUTO_MIN_STOPS`).  Already-gridded sets pass through.
+    ``DENSE``/``None`` returns the set unchanged; ``GRID`` always
+    grids; ``CELLSTRING`` always builds cellstrings; ``AUTO`` picks by
+    stop count — dense below :data:`AUTO_MIN_STOPS`, cellstrings at or
+    above :data:`~repro.engine.cellstring.AUTO_CELLSTRING_MIN_STOPS`,
+    the grid in between.  The thresholds are the same ones
+    :meth:`repro.runtime.QueryRuntime.stop_set` applies, so a workload
+    never flips backend between the sync and runtime paths.
+    Already-dressed sets pass through.
     """
     if backend is None or backend is ProximityBackend.DENSE:
         return stops
-    if isinstance(stops, GriddedStopSet):
+    # local import: cellstring builds on this module's helpers
+    from .cellstring import AUTO_CELLSTRING_MIN_STOPS, CellstringStopSet
+
+    if isinstance(stops, (GriddedStopSet, CellstringStopSet)):
         return stops
-    min_stops = 1 if backend is ProximityBackend.GRID else AUTO_MIN_STOPS
+    min_stops = (
+        1
+        if backend in (ProximityBackend.GRID, ProximityBackend.CELLSTRING)
+        else AUTO_MIN_STOPS
+    )
+    if backend is ProximityBackend.CELLSTRING or (
+        backend is ProximityBackend.AUTO
+        and stops.n_stops >= AUTO_CELLSTRING_MIN_STOPS
+    ):
+        return CellstringStopSet(stops.coords, psi, min_stops)
     return GriddedStopSet(stops.coords, psi, min_stops)

@@ -55,6 +55,7 @@ from ..core.errors import QueryError
 from ..core.geometry import BBox, Point
 from ..core.service import StopSet, coverage_kernel, psi_hit
 from ..core.stats import QueryStats
+from .cellstring import CellstringIndex, build_cellstring_index
 from .grid import (
     GriddedStopSet,
     _cell_indices_of,
@@ -221,20 +222,23 @@ class StopShard:
 #: constant.
 _STORE_MAX_GRIDS = 256
 _STORE_MAX_SHARDS = 2_048
+_STORE_MAX_CELLSTRINGS = 128
 
 
 class ShardStore:
-    """Content-addressed cache of built shards and sharded grids.
+    """Content-addressed cache of built shards, sharded grids, and
+    cellstring indexes.
 
-    Both levels verify a hit's stored arrays against the request bitwise
-    before serving it, so aliasing through a hash collision is
+    Every level verifies a hit's stored arrays against the request
+    bitwise before serving it, so aliasing through a hash collision is
     impossible — a collision is simply a miss.  Entries are keyed purely
     by content, so a store can be shared freely across facilities,
     runtimes, and threads; retention is bounded (oldest-first eviction
-    past ``max_grids`` / ``max_shards``), which keeps a service-style
-    runtime's memory flat across an unbounded query stream.
+    past ``max_grids`` / ``max_shards`` / ``max_cellstrings``), which
+    keeps a service-style runtime's memory flat across an unbounded
+    query stream.
 
-    Both public methods run under one reentrant lock (``sharded_grid``
+    The public methods run under one reentrant lock (``sharded_grid``
     builds grids that intern their slices back through the same store),
     so concurrent callers — the service's bridge threads dressing stop
     sets at once — get the single-builder guarantee: the first request
@@ -248,15 +252,20 @@ class ShardStore:
         self,
         max_grids: int = _STORE_MAX_GRIDS,
         max_shards: int = _STORE_MAX_SHARDS,
+        max_cellstrings: int = _STORE_MAX_CELLSTRINGS,
     ) -> None:
         self.max_grids = max(1, int(max_grids))
         self.max_shards = max(1, int(max_shards))
+        self.max_cellstrings = max(1, int(max_cellstrings))
         self._grids: Dict[Tuple, "ShardedStopGrid"] = {}
         self._shards: Dict[Tuple, StopShard] = {}
+        self._cellstrings: Dict[Tuple, CellstringIndex] = {}
         self.grid_hits = 0
         self.grid_misses = 0
         self.shard_hits = 0
         self.shard_misses = 0
+        self.cellstring_hits = 0
+        self.cellstring_misses = 0
         self._lock = threading.RLock()
 
     @staticmethod
@@ -318,15 +327,41 @@ class ShardStore:
             self._evict_oldest(self._shards, self.max_shards)
             return shard
 
+    def cellstring_index(
+        self, coords: np.ndarray, psi: float
+    ) -> CellstringIndex:
+        """A built :class:`~repro.engine.cellstring.CellstringIndex`,
+        shared across callers whose stop coordinates are
+        content-identical at the same radius.
+
+        Cellstring builds are radius-specific (rasterization bakes
+        ``psi`` in), so the key includes ``psi``; like the other two
+        levels, a hit re-verifies the stored coordinates bitwise before
+        serving, so a hash collision is simply a miss.
+        """
+        arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+        key = (arr.shape, _content_digest(arr), float(psi))
+        with self._lock:
+            hit = self._cellstrings.get(key)
+            if hit is not None and np.array_equal(hit.coords, arr):
+                self.cellstring_hits += 1
+                return hit
+            self.cellstring_misses += 1
+            index = build_cellstring_index(arr, psi)
+            self._cellstrings[key] = index
+            self._evict_oldest(self._cellstrings, self.max_cellstrings)
+            return index
+
     # ------------------------------------------------------------------
     def clear(self) -> None:
         with self._lock:
             self._grids.clear()
             self._shards.clear()
+            self._cellstrings.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._grids) + len(self._shards)
+            return len(self._grids) + len(self._shards) + len(self._cellstrings)
 
 
 class ShardedStopGrid:

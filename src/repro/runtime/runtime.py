@@ -64,6 +64,7 @@ from ..core.errors import QueryError
 from ..core.service import StopSet
 from ..core.stats import QueryStats
 from ..engine.cache import CoverageCache
+from ..engine.cellstring import AUTO_CELLSTRING_MIN_STOPS, CellstringStopSet
 from ..engine.grid import AUTO_MIN_STOPS, GriddedStopSet
 from ..engine.shards import ShardedStopSet, ShardStore
 from .policies import make_policy_executor
@@ -180,28 +181,51 @@ class QueryRuntime:
     ) -> StopSet:
         """``stops`` dressed for this runtime's execution policy.
 
-        ``DENSE`` returns the set unchanged; ``GRID`` always
-        accelerates; ``AUTO`` only dresses stop sets large enough to win
-        (:data:`~repro.engine.grid.AUTO_MIN_STOPS`).  Accelerated sets
-        are sharded when the resolved shard count exceeds one —
-        ``config.shards`` directly, or the ``AUTO`` heuristic from the
-        stop count — and plain-gridded otherwise.  Already-dressed sets
-        pass through, so re-dressing across recursive divisions is free.
+        ``DENSE`` returns the set unchanged; ``GRID`` always grids;
+        ``CELLSTRING`` always builds precomputed cellstrings; ``AUTO``
+        picks by stop count — dense below
+        :data:`~repro.engine.grid.AUTO_MIN_STOPS`, cellstrings at or
+        above :data:`~repro.engine.cellstring
+        .AUTO_CELLSTRING_MIN_STOPS` (repeated probes amortise the
+        rasterization the store shares), the grid in between — the
+        same thresholds :func:`~repro.engine.grid.backend_stops`
+        applies on the sync path.  Grid-tier sets are sharded when the
+        resolved shard count exceeds one — ``config.shards`` directly,
+        or the ``AUTO`` heuristic from the stop count — and
+        plain-gridded otherwise.  Already-dressed sets pass through, so
+        re-dressing across recursive divisions is free.
         """
         if not isinstance(stops, StopSet):
             stops = StopSet(np.asarray(stops, dtype=np.float64))
         backend = self.config.backend
         if backend is ProximityBackend.DENSE:
             return stops
-        if isinstance(stops, GriddedStopSet):  # includes ShardedStopSet
+        if isinstance(stops, (GriddedStopSet, CellstringStopSet)):
+            # GriddedStopSet includes ShardedStopSet
             return stops
-        min_stops = 1 if backend is ProximityBackend.GRID else AUTO_MIN_STOPS
+        min_stops = (
+            1
+            if backend in (ProximityBackend.GRID, ProximityBackend.CELLSTRING)
+            else AUTO_MIN_STOPS
+        )
         n = stops.n_stops
         if n < min_stops:
             # below the threshold the dense broadcast wins; returning the
             # plain set (rather than a lazy wrapper) keeps tiny
             # components zero-overhead
             return stops
+        if backend is ProximityBackend.CELLSTRING or (
+            backend is ProximityBackend.AUTO and n >= AUTO_CELLSTRING_MIN_STOPS
+        ):
+            # executor getter, not executor: resolved at query time so
+            # sets dressed before close() degrade to inline probing
+            return CellstringStopSet(
+                stops.coords,
+                psi,
+                min_stops,
+                store=self.shard_store,
+                executor=self._live_executor,
+            )
         shards = resolve_shard_count(self.config.shards, n)
         if shards > 1:
             # pass the executor *getter*, not the executor: the stop set

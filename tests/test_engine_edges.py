@@ -168,6 +168,72 @@ class TestBoundaries:
         assert gss._coarse_grid.cell_size >= 90.0
 
 
+class TestDegenerateGeometryHardening:
+    """Pins for the degenerate-input sweep: subnormal radii, huge
+    coordinates, non-finite probes, and the floor-quotient clamp.  Each
+    is differential against the dense oracle — the hardened paths must
+    stay *exact*, not merely not-crash."""
+
+    def test_huge_coordinates_subnormal_psi(self):
+        """Coincident stops at 1e10 with psi at the float floor: cell
+        derivation must not collapse to cell <= psi (strictness check)
+        and origin snapping must not overflow to non-finite."""
+        stops = np.full((6, 2), 1.0e10)
+        probe = [[1.0e10, 1.0e10], [1.0e10 + 1.0, 1.0e10], [0.0, 0.0]]
+        for psi in (1e-300, 5e-324, 0.0):
+            mask = _assert_grid_matches_dense(stops, probe, psi)
+            assert mask.tolist() == [True, False, False]
+            grid = StopGrid(np.asarray(stops), psi)
+            assert grid.cell_size > psi
+            assert np.isfinite(grid._ox) and np.isfinite(grid._oy)
+            assert grid._ox <= 1.0e10 and grid._oy <= 1.0e10
+
+    def test_extent_zero_psi_zero(self):
+        """Both degenerate knobs at once: coincident stops and a zero
+        radius still derive a strictly positive cell."""
+        stops = np.full((4, 2), 37.25)
+        grid = StopGrid(stops, 0.0)
+        assert grid.cell_size > 0.0
+        mask = _assert_grid_matches_dense(stops, [[37.25, 37.25], [37.3, 37.25]], 0.0)
+        assert mask.tolist() == [True, False]
+
+    def test_max_cells_per_axis_clamp_stays_exact(self):
+        """A wide extent with tiny psi trips the cells-per-axis clamp
+        (coarser cells than psi would suggest); answers stay exact
+        because the gather radius widens with the cell."""
+        stops = np.array([[0.0, 0.0], [3.0e6, 0.0], [1.5e6, 7.0]])
+        probe = [[0.0, 0.001], [3.0e6, 0.0011], [1.5e6, 7.0], [1.0e6, 0.0]]
+        for psi in (0.001, 0.01):
+            grid = StopGrid(stops, psi)
+            assert grid.cell_size >= 3.0e6 / (1 << 20)  # the clamp engaged
+            _assert_grid_matches_dense(stops, probe, psi)
+
+    def test_far_probes_do_not_overflow_indices(self):
+        """Probe points quintillions of cells away: the floor-quotient
+        clamp keeps the int cast defined and the answer a clean miss."""
+        stops = np.array([[0.0, 0.0], [10.0, 10.0]])
+        probe = [[1e18, 1e18], [-1e18, 5.0], [5.0, -1e18], [1e308, -1e308]]
+        mask = _assert_grid_matches_dense(stops, probe, 0.001)
+        assert not mask.any()
+
+    def test_nonfinite_probes_are_sound_misses(self):
+        """NaN/inf probe coordinates: the dense kernel says False (NaN
+        comparisons are false), and the grid must agree instead of
+        feeding undefined casts into the gather."""
+        stops = np.array([[0.0, 0.0], [10.0, 10.0]])
+        probe = np.array(
+            [[np.nan, 0.0], [0.0, np.nan], [np.inf, 0.0], [-np.inf, np.nan]]
+        )
+        mask = _assert_grid_matches_dense(stops, probe, 5.0)
+        assert not mask.any()
+
+    def test_single_stop_every_degenerate_psi(self):
+        for psi in (0.0, 5e-324, 1e-300, 1e300):
+            _assert_grid_matches_dense(
+                [[2.5, -7.25]], [[2.5, -7.25], [2.5, -7.0], [100.0, 100.0]], psi
+            )
+
+
 class TestQuadrants:
     def test_negative_and_positive_coordinates(self):
         """Stops and probes spanning all four quadrants around the

@@ -78,6 +78,70 @@ class TestStopSetDressing:
         assert isinstance(rt.stop_set(small, 10.0), GriddedStopSet)
         assert isinstance(rt.stop_set(large, 10.0), ShardedStopSet)
         assert auto_shard_count(200) == 1
+
+    def test_cellstring_backend_always_dresses(self):
+        from repro import CellstringStopSet
+
+        rt = _runtime(ProximityBackend.CELLSTRING)
+        for n in (1, 8, 200):
+            stops = StopSet(np.random.default_rng(n).uniform(0, 100, (n, 2)))
+            dressed = rt.stop_set(stops, 10.0)
+            assert isinstance(dressed, CellstringStopSet)
+            assert dressed.min_stops == 1
+
+    def test_auto_picks_cellstring_for_huge_sets(self):
+        from repro import CellstringStopSet
+        from repro.engine import AUTO_CELLSTRING_MIN_STOPS
+
+        rt = _runtime(ProximityBackend.AUTO)
+        huge = StopSet(
+            np.random.default_rng(2).uniform(
+                0, 500, (AUTO_CELLSTRING_MIN_STOPS, 2)
+            )
+        )
+        assert isinstance(rt.stop_set(huge, 10.0), CellstringStopSet)
+
+    def test_auto_thresholds_consistent_with_backend_stops(self):
+        """The lazy runtime dressing and the sync ``backend_stops`` path
+        must pick the same tier at every threshold boundary — a probe
+        routed either way does the same class of work."""
+        from repro import CellstringStopSet, backend_stops
+        from repro.engine import AUTO_CELLSTRING_MIN_STOPS
+        from repro.engine.grid import AUTO_MIN_STOPS
+
+        rng = np.random.default_rng(3)
+        counts = (
+            AUTO_MIN_STOPS - 1,
+            AUTO_MIN_STOPS,
+            AUTO_CELLSTRING_MIN_STOPS - 1,
+            AUTO_CELLSTRING_MIN_STOPS,
+        )
+        rt = _runtime(ProximityBackend.AUTO, shards=1)
+        for n in counts:
+            stops = StopSet(rng.uniform(0, 500, (n, 2)))
+            lazy = rt.stop_set(stops, 10.0)
+            sync = backend_stops(StopSet(stops.coords), 10.0, ProximityBackend.AUTO)
+            if n < AUTO_MIN_STOPS:
+                # both paths do dense work: the runtime returns the plain
+                # set, the sync path a lazy wrapper whose grid never builds
+                assert type(lazy) is StopSet
+                assert isinstance(sync, GriddedStopSet)
+                assert sync._grid_for(10.0) is None
+            elif n < AUTO_CELLSTRING_MIN_STOPS:
+                assert isinstance(lazy, GriddedStopSet)
+                assert isinstance(sync, GriddedStopSet)
+                assert not isinstance(lazy, CellstringStopSet)
+            else:
+                assert isinstance(lazy, CellstringStopSet)
+                assert isinstance(sync, CellstringStopSet)
+
+    def test_dressed_cellstring_passes_through(self):
+        from repro import CellstringStopSet
+
+        rt = _runtime(ProximityBackend.AUTO)
+        coords = np.random.default_rng(4).uniform(0, 100, (64, 2))
+        dressed = CellstringStopSet(coords, 10.0)
+        assert rt.stop_set(dressed, 10.0) is dressed
         assert auto_shard_count(4_000) >= 2
 
     def test_already_dressed_sets_pass_through(self):

@@ -6,11 +6,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro import BBox, GeometryError, Point, ZID
 from repro.core.zorder import (
     AdaptiveZGrid,
     morton_decode,
+    morton_decode_array,
     morton_encode,
+    morton_encode_array,
     zid_of_point,
 )
 
@@ -96,6 +100,91 @@ class TestMorton:
         assert max(sw) < min(ne)
 
 
+class TestMortonArray:
+    """The vectorised codecs must be bit-identical to the scalar
+    MSB-first reference for every index and depth."""
+
+    @given(
+        st.integers(1, 10),
+        st.integers(0, 1_000_000),
+    )
+    def test_matches_scalar_encoder(self, depth, seed):
+        rng = np.random.default_rng(seed)
+        n = 1 << depth
+        xs = rng.integers(0, n, size=16)
+        ys = rng.integers(0, n, size=16)
+        codes = morton_encode_array(xs, ys, depth)
+        assert codes.dtype == np.int64
+        for x, y, c in zip(xs, ys, codes):
+            assert int(c) == morton_encode(int(x), int(y), depth)
+
+    @given(st.integers(0, 12), st.integers(0, 1_000_000))
+    def test_round_trip(self, depth, seed):
+        rng = np.random.default_rng(seed)
+        n = 1 << depth
+        xs = rng.integers(0, n, size=32)
+        ys = rng.integers(0, n, size=32)
+        dx, dy = morton_decode_array(morton_encode_array(xs, ys, depth), depth)
+        assert np.array_equal(dx, xs)
+        assert np.array_equal(dy, ys)
+
+    def test_boundary_indices_at_every_depth(self):
+        """The axis extremes — 0 and 2**depth - 1 — encode and round-trip
+        at every depth up to the 31-bit cap."""
+        for depth in (1, 2, 12, 30, 31):
+            hi = (1 << depth) - 1
+            xs = np.array([0, hi, 0, hi], dtype=np.int64)
+            ys = np.array([0, 0, hi, hi], dtype=np.int64)
+            codes = morton_encode_array(xs, ys, depth)
+            assert int(codes.min()) == 0
+            assert int(codes.max()) == (1 << (2 * depth)) - 1
+            dx, dy = morton_decode_array(codes, depth)
+            assert np.array_equal(dx, xs)
+            assert np.array_equal(dy, ys)
+
+    def test_depth_zero(self):
+        codes = morton_encode_array(
+            np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64), 0
+        )
+        assert codes.tolist() == [0, 0, 0]
+        dx, dy = morton_decode_array(codes, 0)
+        assert dx.tolist() == [0, 0, 0] and dy.tolist() == [0, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        n = np.array([4], dtype=np.int64)
+        ok = np.array([0], dtype=np.int64)
+        with pytest.raises(GeometryError):
+            morton_encode_array(n, ok, 2)
+        with pytest.raises(GeometryError):
+            morton_encode_array(ok, n, 2)
+        with pytest.raises(GeometryError):
+            morton_encode_array(-n, ok, 2)  # negative index: no wrap
+        with pytest.raises(GeometryError):
+            morton_decode_array(np.array([16], dtype=np.int64), 2)
+        with pytest.raises(GeometryError):
+            morton_decode_array(np.array([-1], dtype=np.int64), 2)
+
+    def test_depth_cap_enforced(self):
+        z = np.zeros(1, dtype=np.int64)
+        with pytest.raises(GeometryError):
+            morton_encode_array(z, z, 32)
+        with pytest.raises(GeometryError):
+            morton_encode_array(z, z, -1)
+
+    def test_prefix_truncation_matches_coarse_encode(self):
+        """Dropping d low digit pairs of a fine code equals encoding the
+        right-shifted indices at the coarser depth — the invariant the
+        cellstring tier's coarse reject leans on."""
+        rng = np.random.default_rng(77)
+        depth, drop = 10, 3
+        n = 1 << depth
+        xs = rng.integers(0, n, size=64)
+        ys = rng.integers(0, n, size=64)
+        fine = morton_encode_array(xs, ys, depth)
+        coarse = morton_encode_array(xs >> drop, ys >> drop, depth - drop)
+        assert np.array_equal(fine >> np.int64(2 * drop), coarse)
+
+
 class TestZidOfPoint:
     def test_depth_zero_is_root(self):
         assert zid_of_point(Point(1, 1), WORLD, 0) == ZID(())
@@ -120,6 +209,45 @@ class TestZidOfPoint:
         a = zid_of_point(p, WORLD, depth)
         b = zid_of_point(p, WORLD, depth + 1)
         assert a.is_prefix_of(b)
+
+
+class TestCellKeyBoundaries:
+    """Cell-key derivation pins for boundary points and negative
+    coordinates: ties at quadrant seams resolve *high* (a seam point
+    belongs to the upper/right child), the space's max corner is a
+    valid point at every depth, and spaces spanning negative
+    coordinates derive keys by the same descent — including the
+    ``-0.0`` / ``0.0`` float identity."""
+
+    def test_midline_tie_resolves_to_upper_right(self):
+        box = BBox(0, 0, 100, 100)
+        assert zid_of_point(Point(50, 50), box, 1) == ZID((3,))
+        assert zid_of_point(Point(50, 0), box, 1) == ZID((1,))
+        assert zid_of_point(Point(0, 50), box, 1) == ZID((2,))
+
+    def test_max_corner_valid_at_depth(self):
+        box = BBox(0, 0, 100, 100)
+        for depth in (1, 3, 6):
+            zid = zid_of_point(Point(100, 100), box, depth)
+            assert zid.digits == (3,) * depth
+
+    def test_negative_coordinate_space(self):
+        box = BBox(-100, -100, 100, 100)
+        assert zid_of_point(Point(-100, -100), box, 2) == ZID((0, 0))
+        assert zid_of_point(Point(-1, -1), box, 1) == ZID((0,))
+        # the origin sits exactly on both midlines: ties go high
+        assert zid_of_point(Point(0, 0), box, 1) == ZID((3,))
+
+    def test_negative_zero_is_zero(self):
+        box = BBox(-100, -100, 100, 100)
+        assert zid_of_point(Point(-0.0, -0.0), box, 2) == zid_of_point(
+            Point(0.0, 0.0), box, 2
+        )
+
+    def test_point_outside_negative_space_rejected(self):
+        box = BBox(-100, -100, 100, 100)
+        with pytest.raises(GeometryError):
+            zid_of_point(Point(-100.0000001, 0), box, 1)
 
 
 class TestAdaptiveZGrid:
