@@ -30,9 +30,12 @@ fingerprint (cpu_count=1 boxes honestly hover near 1x).
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import dataclasses
 import json
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -45,7 +48,13 @@ from repro.core.config import (
 )
 from repro.runtime import QueryRuntime
 from repro.service import QueryService
-from repro.service.http import Catalog, ServeClient, background_server, wire_result
+from repro.service.http import (
+    Catalog,
+    ServeClient,
+    background_server,
+    catalog_from_spec,
+    wire_result,
+)
 from repro.service.http import wire
 
 from .conftest import run_once
@@ -185,7 +194,58 @@ def test_http_smoke_sweep(benchmark, factory, overlap):
     benchmark.extra_info.update({"figure": "http", "series": f"overlap{overlap}"})
 
 
-def main(out_path: str = None) -> dict:
+def _cold_start_leg(catalog_spec: str) -> dict:
+    """Server cold start for one catalog spec: how long until a fresh
+    process can answer its first query.
+
+    ``catalog_seconds`` is resource resolution (for ``store:<dir>``
+    that's opening memory-mapped files; for ``demo``/``csv`` it's
+    generating or loading and *indexing* the data); ``serve_seconds``
+    is runtime + service + socket bring-up; ``first_query_seconds`` is
+    the first real answer, which on a ``store:`` catalog opens the
+    persisted per-facility indexes instead of building them.
+    """
+    t0 = time.perf_counter()
+    catalog = catalog_from_spec(catalog_spec)
+    catalog_s = time.perf_counter() - t0
+    # shards=2 on both legs: grid-tier sets only shard (and therefore
+    # only consult the persisted store) above one shard, and store
+    # files are keyed by the request's shard count — so a store built
+    # with ``repro.store build --shards 2`` matches this config
+    runtime_config = dataclasses.replace(_runtime_config(), shards=2)
+    if catalog_spec.startswith("store:"):
+        runtime_config = dataclasses.replace(
+            runtime_config, store_dir=catalog_spec.split(":", 1)[1]
+        )
+    tree = catalog.tree_names[0]
+    buses = catalog.facility_set_names[0]
+    payload = {
+        "type": "evaluate", "tree": tree, "facility_set": buses,
+        "facility_id": catalog.facility_set(buses)[0].facility_id,
+        "spec": {"model": "endpoint", "psi": PSI},
+    }
+    t1 = time.perf_counter()
+    with background_server(catalog, runtime_config=runtime_config) as handle:
+        serve_s = time.perf_counter() - t1
+        t2 = time.perf_counter()
+        with ServeClient(handle.host, handle.port) as client:
+            client.query(payload)
+            first_query_s = time.perf_counter() - t2
+            store_counters = wire.decode_store_stats(
+                client.request("GET", "/stats").body["store"]
+            )
+    return {
+        "catalog_spec": catalog_spec,
+        "catalog_seconds": catalog_s,
+        "serve_seconds": serve_s,
+        "first_query_seconds": first_query_s,
+        "cold_start_seconds": catalog_s + serve_s + first_query_s,
+        "indexes_opened": store_counters.opened,
+        "indexes_verified": store_counters.verified,
+    }
+
+
+def main(out_path: str = None, catalog_spec: str = None) -> dict:
     """Measure the sweep, verify parity, write ``BENCH_http.json``."""
     factory = WorkloadFactory()
     catalog = _catalog(factory, _N_USERS, _N_FACILITY_POOL)
@@ -238,6 +298,16 @@ def main(out_path: str = None) -> dict:
                 "answers_equal": True,
             }
         )
+    if catalog_spec:
+        report["cold_start"] = _cold_start_leg(catalog_spec)
+        c = report["cold_start"]
+        print(
+            f"  cold start {catalog_spec!r}: catalog "
+            f"{c['catalog_seconds']*1e3:.0f}ms + serve "
+            f"{c['serve_seconds']*1e3:.0f}ms + first query "
+            f"{c['first_query_seconds']*1e3:.1f}ms "
+            f"(indexes opened: {c['indexes_opened']})"
+        )
     target = (
         Path(out_path)
         if out_path
@@ -275,4 +345,15 @@ def main(out_path: str = None) -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="report path override")
+    parser.add_argument(
+        "--catalog", default=None,
+        help=(
+            "also record a server cold-start leg for this catalog spec "
+            "(e.g. 'store:<dir>' from python -m repro.store build, or "
+            "'demo' for the build-everything baseline)"
+        ),
+    )
+    args = parser.parse_args()
+    main(out_path=args.out, catalog_spec=args.catalog)

@@ -182,6 +182,14 @@ class RuntimeConfig:
         ``multiprocessing`` start method for the ``processes`` policy:
         ``"fork"``, ``"spawn"``, ``"forkserver"``, or ``None`` for the
         platform default.  Ignored by the other policies.
+    store_dir:
+        Directory of persisted index files (``repro.store`` format) the
+        runtime's :class:`~repro.engine.ShardStore` probes on cache
+        misses: a request whose spill file exists is opened over
+        read-only memmap views instead of rebuilt.  ``None`` (default)
+        disables the lookup.  Like every knob here this never changes a
+        query answer — opened indexes are bit-identical to built ones
+        and re-verified against the request before serving.
     """
 
     backend: ProximityBackend = ProximityBackend.AUTO
@@ -189,6 +197,7 @@ class RuntimeConfig:
     shards: int = SHARDS_AUTO
     max_workers: "int | None" = None
     start_method: Optional[str] = None
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, ProximityBackend):
@@ -215,6 +224,13 @@ class RuntimeConfig:
             raise QueryError(
                 f"unknown start method: {self.start_method!r} (choose "
                 f"from {_START_METHODS})"
+            )
+        if self.store_dir is not None and (
+            not isinstance(self.store_dir, str) or not self.store_dir
+        ):
+            raise QueryError(
+                f"store_dir must be None or a non-empty path, got "
+                f"{self.store_dir!r}"
             )
 
 

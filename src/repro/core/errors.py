@@ -67,3 +67,18 @@ class CatalogError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by synthetic dataset generators and the CSV I/O layer."""
+
+
+class StoreError(ReproError):
+    """Raised by the persistent index store (:mod:`repro.store`) for any
+    on-disk failure: a truncated or missing file, bad magic, an
+    unsupported format version, a malformed header, or a content-hash
+    mismatch.
+
+    One type on purpose: callers opening a store file handle *corrupt*
+    uniformly (rebuild, refuse, or report), so the low-level cause —
+    ``struct.error``, ``ValueError``, short read — must never leak as
+    itself.  The serving catalog maps this to
+    :class:`CatalogError` at its boundary, keeping the HTTP error
+    mapping (404-style resource failure, not a 400 query complaint).
+    """

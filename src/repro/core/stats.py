@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["QueryStats"]
+__all__ = ["QueryStats", "StoreStats"]
 
 
 @dataclass
@@ -48,3 +48,33 @@ class QueryStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time snapshot of :class:`repro.engine.ShardStore`
+    cache behaviour.
+
+    Frozen on purpose: a snapshot is an observation, not an accumulator
+    — mutating one must never perturb the live store's counters, and
+    the serving layer hands these out over ``GET /stats`` while queries
+    are in flight.  The hit/miss/eviction triples cover the three
+    content-addressed cache levels; ``opened`` counts indexes served
+    from a persisted :mod:`repro.store` file instead of being rebuilt,
+    and ``verified`` counts how many of those passed the bitwise
+    re-verification against the requesting coordinates (an ``opened``
+    without a matching ``verified`` never happens on the serving path —
+    a failed verification falls back to a fresh build).
+    """
+
+    grid_hits: int = 0
+    grid_misses: int = 0
+    grid_evictions: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+    shard_evictions: int = 0
+    cellstring_hits: int = 0
+    cellstring_misses: int = 0
+    cellstring_evictions: int = 0
+    opened: int = 0
+    verified: int = 0

@@ -43,6 +43,7 @@ only cause a miss, never a wrong answer.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass
@@ -51,10 +52,10 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.config import SHARDS_AUTO, resolve_shard_count
-from ..core.errors import QueryError
+from ..core.errors import QueryError, StoreError
 from ..core.geometry import BBox, Point
 from ..core.service import StopSet, coverage_kernel, psi_hit
-from ..core.stats import QueryStats
+from ..core.stats import QueryStats, StoreStats
 from .cellstring import CellstringIndex, build_cellstring_index
 from .grid import (
     GriddedStopSet,
@@ -67,11 +68,14 @@ from .grid import (
 
 __all__ = [
     "StopShard",
+    "MmapStopShard",
     "ShardedStopGrid",
     "ShardedStopSet",
     "ShardStore",
     "ProbeBatch",
     "probe_shard_arrays",
+    "grid_spill_name",
+    "cellstring_spill_name",
 ]
 
 #: Key stride between grid rows: ``key = ix * _KEY_STRIDE + iy``.  The
@@ -214,6 +218,69 @@ class StopShard:
         return int(self.cell_starts[-1])
 
 
+class MmapStopShard(StopShard):
+    """A :class:`StopShard` whose arrays are read-only memmap views of a
+    persisted store file (:mod:`repro.store`).
+
+    Identical probe behaviour — same slots, same arrays, same kernel —
+    plus the provenance the process execution policy needs:
+    ``store_path`` names the file the views were mapped from and
+    ``shard_index`` this slice's position in it, so the policy can ship
+    the *path* to workers (who map the same file read-only) instead of
+    copying the arrays into ``multiprocessing.shared_memory``.
+
+    Constructed only by ``repro.store``'s sharded-grid codec, which
+    fills the slots over its memmap views directly.
+    """
+
+    __slots__ = ("store_path", "shard_index")
+
+
+def _grid_key(
+    arr: np.ndarray, psi: float, n_shards: int, cell_size: Optional[float]
+) -> Tuple:
+    """The content key :meth:`ShardStore.sharded_grid` caches under."""
+    return (
+        arr.shape,
+        _content_digest(arr),
+        float(psi),
+        int(n_shards),
+        None if cell_size is None else float(cell_size),
+    )
+
+
+def _cellstring_key(arr: np.ndarray, psi: float) -> Tuple:
+    """The content key :meth:`ShardStore.cellstring_index` caches under."""
+    return (arr.shape, _content_digest(arr), float(psi))
+
+
+def _spill_token(key: Tuple) -> str:
+    """A filesystem-safe token for a cache key: sha1 of its canonical
+    repr (shapes, digests, floats — all repr-stable)."""
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+
+
+def grid_spill_name(
+    coords: np.ndarray,
+    psi: float,
+    n_shards: int = SHARDS_AUTO,
+    cell_size: Optional[float] = None,
+) -> str:
+    """The spill-file name a :class:`ShardStore` probes for this sharded
+    grid request — and therefore the name an offline builder
+    (``python -m repro.store build``) must write, computed from the same
+    key the in-memory cache uses."""
+    arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+    return f"grid-{_spill_token(_grid_key(arr, psi, n_shards, cell_size))}.idx"
+
+
+def cellstring_spill_name(coords: np.ndarray, psi: float) -> str:
+    """The spill-file name for this cellstring request (see
+    :func:`grid_spill_name`)."""
+    arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+    return f"cellstring-{_spill_token(_cellstring_key(arr, psi))}.idx"
+
+
 #: Default retention bounds.  A long-lived runtime dresses a grid per
 #: distinct (stop content, psi) it serves — restricted components
 #: included — so the store must not grow without limit; because it is a
@@ -253,25 +320,61 @@ class ShardStore:
         max_grids: int = _STORE_MAX_GRIDS,
         max_shards: int = _STORE_MAX_SHARDS,
         max_cellstrings: int = _STORE_MAX_CELLSTRINGS,
+        spill_dir: Optional[str] = None,
     ) -> None:
         self.max_grids = max(1, int(max_grids))
         self.max_shards = max(1, int(max_shards))
         self.max_cellstrings = max(1, int(max_cellstrings))
+        #: Directory of persisted index files (``repro.store`` format)
+        #: probed on in-memory misses before building: a file named by
+        #: the request's own cache key (:func:`grid_spill_name` /
+        #: :func:`cellstring_spill_name`) is opened over memmap views
+        #: instead of rebuilt.  ``None`` disables spill lookup.
+        self.spill_dir = spill_dir
         self._grids: Dict[Tuple, "ShardedStopGrid"] = {}
         self._shards: Dict[Tuple, StopShard] = {}
         self._cellstrings: Dict[Tuple, CellstringIndex] = {}
         self.grid_hits = 0
         self.grid_misses = 0
+        self.grid_evictions = 0
         self.shard_hits = 0
         self.shard_misses = 0
+        self.shard_evictions = 0
         self.cellstring_hits = 0
         self.cellstring_misses = 0
+        self.cellstring_evictions = 0
+        self.opened = 0
+        self.verified = 0
         self._lock = threading.RLock()
 
     @staticmethod
-    def _evict_oldest(table: Dict, cap: int) -> None:
+    def _evict_oldest(table: Dict, cap: int) -> int:
+        evicted = 0
         while len(table) > cap:  # dicts iterate in insertion order
             del table[next(iter(table))]
+            evicted += 1
+        return evicted
+
+    def _open_spilled(self, filename: str):
+        """The index persisted under ``filename`` in the spill
+        directory, opened over memmap views — or ``None`` (no spill dir,
+        no such file, or a corrupt file, which is deliberately a silent
+        miss: the caller rebuilds, exactly as if nothing were spilled).
+        Counts ``opened`` on a successful open; the caller counts
+        ``verified`` after its bitwise re-verification."""
+        if self.spill_dir is None:
+            return None
+        path = os.path.join(self.spill_dir, filename)
+        if not os.path.exists(path):
+            return None
+        from ..store import open_index  # deferred: store builds on engine
+
+        try:
+            index = open_index(path, mmap_mode="r")
+        except StoreError:
+            return None
+        self.opened += 1
+        return index
 
     # ------------------------------------------------------------------
     def sharded_grid(
@@ -284,24 +387,35 @@ class ShardStore:
         """A built :class:`ShardedStopGrid`, shared across callers whose
         stop coordinates are content-identical."""
         arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
-        key = (
-            arr.shape,
-            _content_digest(arr),
-            float(psi),
-            int(n_shards),
-            None if cell_size is None else float(cell_size),
-        )
+        key = _grid_key(arr, psi, n_shards, cell_size)
         with self._lock:
             hit = self._grids.get(key)
             if hit is not None and np.array_equal(hit.coords, arr):
                 self.grid_hits += 1
                 return hit
             self.grid_misses += 1
-            grid = ShardedStopGrid(
-                arr, psi, n_shards, cell_size=cell_size, store=self
+            grid = None
+            spilled = self._open_spilled(
+                f"grid-{_spill_token(key)}.idx"
             )
+            if (
+                isinstance(spilled, ShardedStopGrid)
+                and spilled.psi == float(psi)
+                and np.array_equal(spilled.coords, arr)
+            ):
+                # bitwise re-verified against the request, like every
+                # in-memory hit: a token collision is a miss, never a
+                # wrong answer
+                self.verified += 1
+                grid = spilled
+            if grid is None:
+                grid = ShardedStopGrid(
+                    arr, psi, n_shards, cell_size=cell_size, store=self
+                )
             self._grids[key] = grid
-            self._evict_oldest(self._grids, self.max_grids)
+            self.grid_evictions += self._evict_oldest(
+                self._grids, self.max_grids
+            )
             return grid
 
     def intern_shard(self, keys: np.ndarray, coords: np.ndarray) -> StopShard:
@@ -324,7 +438,9 @@ class ShardStore:
             self.shard_misses += 1
             shard = StopShard(keys, coords)
             self._shards[key] = shard
-            self._evict_oldest(self._shards, self.max_shards)
+            self.shard_evictions += self._evict_oldest(
+                self._shards, self.max_shards
+            )
             return shard
 
     def cellstring_index(
@@ -340,19 +456,81 @@ class ShardStore:
         serving, so a hash collision is simply a miss.
         """
         arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
-        key = (arr.shape, _content_digest(arr), float(psi))
+        key = _cellstring_key(arr, psi)
         with self._lock:
             hit = self._cellstrings.get(key)
             if hit is not None and np.array_equal(hit.coords, arr):
                 self.cellstring_hits += 1
                 return hit
             self.cellstring_misses += 1
-            index = build_cellstring_index(arr, psi)
+            index = None
+            spilled = self._open_spilled(
+                f"cellstring-{_spill_token(key)}.idx"
+            )
+            if (
+                isinstance(spilled, CellstringIndex)
+                and spilled.psi == float(psi)
+                and np.array_equal(spilled.coords, arr)
+            ):
+                self.verified += 1
+                index = spilled
+            if index is None:
+                index = build_cellstring_index(arr, psi)
             self._cellstrings[key] = index
-            self._evict_oldest(self._cellstrings, self.max_cellstrings)
+            self.cellstring_evictions += self._evict_oldest(
+                self._cellstrings, self.max_cellstrings
+            )
             return index
 
     # ------------------------------------------------------------------
+    def adopt_sharded_grid(
+        self,
+        grid: "ShardedStopGrid",
+        n_shards: int = SHARDS_AUTO,
+        cell_size: Optional[float] = None,
+    ) -> None:
+        """File an already-built (typically store-opened) grid under the
+        request key future :meth:`sharded_grid` calls will probe.
+
+        ``n_shards``/``cell_size`` are the *request* parameters the key
+        carries (``SHARDS_AUTO``, not the resolved count), matching how
+        the serving path asks.
+        """
+        key = _grid_key(grid.coords, grid.psi, n_shards, cell_size)
+        with self._lock:
+            self._grids[key] = grid
+            self.grid_evictions += self._evict_oldest(
+                self._grids, self.max_grids
+            )
+
+    def adopt_cellstring(self, index: CellstringIndex) -> None:
+        """File an already-built cellstring index under its content key."""
+        key = _cellstring_key(index.coords, index.psi)
+        with self._lock:
+            self._cellstrings[key] = index
+            self.cellstring_evictions += self._evict_oldest(
+                self._cellstrings, self.max_cellstrings
+            )
+
+    # ------------------------------------------------------------------
+    def snapshot_stats(self) -> StoreStats:
+        """A frozen :class:`~repro.core.stats.StoreStats` of the counters
+        at this instant (consistent: taken under the store lock)."""
+        with self._lock:
+            return StoreStats(
+                grid_hits=self.grid_hits,
+                grid_misses=self.grid_misses,
+                grid_evictions=self.grid_evictions,
+                shard_hits=self.shard_hits,
+                shard_misses=self.shard_misses,
+                shard_evictions=self.shard_evictions,
+                cellstring_hits=self.cellstring_hits,
+                cellstring_misses=self.cellstring_misses,
+                cellstring_evictions=self.cellstring_evictions,
+                opened=self.opened,
+                verified=self.verified,
+            )
+
     def clear(self) -> None:
         with self._lock:
             self._grids.clear()

@@ -28,6 +28,13 @@ through ``multiprocessing.shared_memory``:
   per shard into named shared-memory blocks and cached on the executor;
   workers attach by name and keep zero-copy views cached across queries
   (shards are immutable, so a view is forever valid);
+* **persisted shards** skip shared memory entirely: a shard whose
+  arrays are memmap views of a ``repro.store`` file
+  (:class:`~repro.engine.shards.MmapStopShard`) ships as its *store
+  path* — a three-element tuple instead of three copied segments — and
+  each worker opens the same file read-only, so the coordinator and
+  every worker share one physical page-cache mapping with zero copies
+  on either side;
 * **the probe batch** (points, cell windows, key windows) is exported
   once per ``covered_mask`` call and unlinked as soon as every shard's
   result is back;
@@ -61,7 +68,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.config import ExecutionPolicy, RuntimeConfig
+from ..core.errors import StoreError
 from ..engine.shards import (
+    MmapStopShard,
     ProbeBatch,
     ProbeResult,
     StopShard,
@@ -88,6 +97,11 @@ _EXPORT_CAP = 1_024
 
 #: Worker-side bound on cached segment attachments.
 _WORKER_SHARD_CAP = 64
+
+#: Worker-side bound on cached store-file mappings (mmap transport).
+#: One entry per distinct store file a worker has probed; evicting just
+#: re-opens (O(header)) on next use.
+_WORKER_MMAP_CAP = 16
 
 
 def resolve_worker_count(max_workers: Optional[int]) -> int:
@@ -269,21 +283,66 @@ def _worker_shard_arrays(
     return entry[1]
 
 
+#: Worker-process cache of opened store files: path -> reconstructed
+#: sharded grid over read-only memmap views.  Store files are immutable
+#: once written (atomic replace), so caching by path is sound; several
+#: workers (and the coordinator) mapping the same path share one
+#: physical read-only mapping through the page cache.
+_worker_mmap_grids: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _worker_mmap_shard_arrays(
+    path: str, index: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker side of the mmap transport: the shard's arrays as views of
+    the store file at ``path``.
+
+    ``verify=False``: the coordinator opened (and content-hash-verified)
+    the very same file to produce the shard it shipped, and the file is
+    immutable, so re-hashing the payload in every worker would only
+    fault every page in for nothing.
+    """
+    grid = _worker_mmap_grids.get(path)
+    if grid is None:
+        from ..store import open_index  # deferred: store builds on engine
+
+        grid = open_index(path, mmap_mode="r", verify=False)
+        _worker_mmap_grids[path] = grid
+        while len(_worker_mmap_grids) > _WORKER_MMAP_CAP:
+            _worker_mmap_grids.popitem(last=False)
+    shard = grid.shards[index]
+    return shard.keys, shard.coords, shard.cell_starts
+
+
+def _worker_mmap_cached_paths() -> List[str]:
+    """Introspection task (picklable): which store files this worker has
+    mapped.  The mmap-transport lifecycle test submits this to prove
+    workers attach by path instead of receiving shared-memory copies."""
+    return sorted(_worker_mmap_grids)
+
+
 def _probe_task(
-    shard_desc: Tuple[_ArrayDescriptor, ...],
+    shard_desc: Tuple,
     batch_desc: Tuple[_ArrayDescriptor, _ArrayDescriptor],
     psi: float,
     nx: int,
 ) -> Optional[ProbeResult]:
     """The worker-side task: rebuild views, run the shared probe body.
 
+    ``shard_desc`` is either three shared-memory descriptors or an
+    ``("mmap", path, shard_index)`` triple from the mmap transport.
     The result arrays come out of fancy indexing inside
     :func:`probe_shard_arrays`, so they own their memory — nothing
     returned references the shared segments, which is what makes it safe
     for the creator to unlink the batch blocks as soon as every result
     is back.
     """
-    keys, coords, cell_starts = _worker_shard_arrays(shard_desc)
+    if shard_desc[0] == "mmap":
+        keys, coords, cell_starts = _worker_mmap_shard_arrays(
+            shard_desc[1], shard_desc[2]
+        )
+    else:
+        keys, coords, cell_starts = _worker_shard_arrays(shard_desc)
     handles: List = []
     try:
         shm_pts, pts = _attach_array(batch_desc[0])
@@ -359,6 +418,11 @@ class ProcessPolicyExecutor(PolicyExecutor):
         self._exports: Dict[
             int, Tuple[StopShard, List[_SharedBlock], Tuple]
         ] = {}
+        #: Transport observability: how many shard descriptors were
+        #: shipped as store paths (mmap transport, zero copies) versus
+        #: how many shard exports were copied into shared memory.
+        self.mmap_shipped = 0
+        self.shm_shipped = 0
         # Safety net for executors dropped without close(): named
         # segments outlive the objects that created them, so GC alone
         # would leak them until interpreter exit (or past it, under
@@ -419,6 +483,14 @@ class ProcessPolicyExecutor(PolicyExecutor):
         return self._pool
 
     def _shard_descriptor(self, shard: StopShard) -> Tuple:
+        if isinstance(shard, MmapStopShard):
+            # mmap transport: the shard's arrays already live in an
+            # immutable store file every process can map read-only, so
+            # ship the path — no shared-memory export, no copy, nothing
+            # for close() to unlink
+            with self._lock:
+                self.mmap_shipped += 1
+            return ("mmap", shard.store_path, shard.shard_index)
         # under the lock: a shared service runtime can probe the same
         # not-yet-exported shard from two threads at once, and the loser
         # of an unlocked race would overwrite (and so never unlink) the
@@ -434,6 +506,7 @@ class ProcessPolicyExecutor(PolicyExecutor):
             ]
             desc = tuple(b.descriptor for b in blocks)
             self._exports[id(shard)] = (shard, blocks, desc)
+            self.shm_shipped += 1
             evicted: List[_SharedBlock] = []
             while len(self._exports) > self.max_exports:
                 oldest = next(iter(self._exports))  # insert order = age
@@ -485,10 +558,12 @@ class ProcessPolicyExecutor(PolicyExecutor):
             for s, f in futures:
                 try:
                     results.append(f.result())
-                except FileNotFoundError:
+                except (FileNotFoundError, StoreError):
                     # another thread evicted this shard's export between
-                    # our submit and the worker's attach; the arrays are
-                    # still here, so recompute this shard inline
+                    # our submit and the worker's attach (or, on the
+                    # mmap path, the store file vanished under the
+                    # worker); the arrays are still here, so recompute
+                    # this shard inline
                     results.append(
                         probe_shard_arrays(
                             s.keys, s.coords, s.cell_starts, batch
@@ -502,6 +577,22 @@ class ProcessPolicyExecutor(PolicyExecutor):
                 b.release()
 
     # ------------------------------------------------------------------
+    def worker_mmap_paths(self, probes: int = 8) -> set:
+        """The union of store-file paths the pool's workers have mapped
+        (best effort: ``probes`` introspection tasks land on whichever
+        workers the pool schedules).  Test/observability hook for the
+        mmap transport."""
+        pool = self._ensure_pool()
+        if pool is None:
+            return set()
+        futures = [
+            pool.submit(_worker_mmap_cached_paths) for _ in range(probes)
+        ]
+        paths: set = set()
+        for f in futures:
+            paths.update(f.result())
+        return paths
+
     def close(self) -> None:
         with self._lock:
             self._closed = True

@@ -119,17 +119,14 @@ class QueryRuntime:
         if backend is not None:
             if not isinstance(backend, ProximityBackend):
                 raise QueryError(f"unknown proximity backend: {backend!r}")
-            config = RuntimeConfig(
-                backend=backend,
-                policy=config.policy,
-                shards=config.shards,
-                max_workers=config.max_workers,
-                start_method=config.start_method,
-            )
+            # replace, not field-by-field reconstruction: the shorthand
+            # overrides the backend and must carry every other knob —
+            # including ones added after this call was written
+            config = dataclasses.replace(config, backend=backend)
         self.config = config
         self.cache = cache if cache is not None else CoverageCache()
         self.stats = stats if stats is not None else QueryStats()
-        self.shard_store = ShardStore()
+        self.shard_store = ShardStore(spill_dir=config.store_dir)
         self.policy_executor = make_policy_executor(config)
 
     # ------------------------------------------------------------------
@@ -340,6 +337,15 @@ class QueryRuntime:
         """
         with _STATS_LOCK:
             return dataclasses.replace(self.stats)
+
+    def snapshot_store_stats(self):
+        """A frozen :class:`~repro.core.stats.StoreStats` of the shard
+        store's cache counters — hits, misses, evictions per level, plus
+        how many indexes were served from persisted store files
+        (``opened``/``verified``).  The serving layer's ``GET /stats``
+        reports this next to the query totals.
+        """
+        return self.shard_store.snapshot_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

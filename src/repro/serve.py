@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import dataclasses
 import signal
 import sys
 from typing import Optional, Sequence
@@ -60,8 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "resource catalog spec: "
             "'demo[:n_users[:n_facilities[:n_stops[:seed]]]]' for the "
-            "synthetic city, or 'csv:<users_path>:<facilities_path>[:beta]' "
-            "for datasets saved by repro.datasets (default: demo)"
+            "synthetic city, 'csv:<users_path>:<facilities_path>[:beta]' "
+            "for datasets saved by repro.datasets, or 'store:<dir>' for a "
+            "persisted catalog precomputed by 'python -m repro.store "
+            "build' (O(open) startup; the runtime also opens that "
+            "directory's index files instead of rebuilding) "
+            "(default: demo)"
         ),
     )
     parser.add_argument(
@@ -127,6 +132,15 @@ def config_from_args(args: argparse.Namespace) -> HttpConfig:
 def run(config: HttpConfig) -> int:
     """Build the deployment described by ``config`` and serve until a
     termination signal arrives."""
+    if config.catalog.startswith("store:") and config.runtime.store_dir is None:
+        # the catalog directory doubles as the runtime's persisted-index
+        # spill: ShardStore opens precomputed grid/cellstring files from
+        # it instead of rebuilding them on first query
+        store_dir = config.catalog.split(":", 1)[1]
+        config = dataclasses.replace(
+            config,
+            runtime=dataclasses.replace(config.runtime, store_dir=store_dir),
+        )
     print(f"resolving catalog {config.catalog!r} ...", flush=True)
     try:
         catalog = catalog_from_spec(config.catalog)

@@ -12,14 +12,19 @@ Lookup misses raise :class:`~repro.core.errors.CatalogError`, which the
 server maps to HTTP 404 — a missing resource, distinct from a malformed
 query (:class:`~repro.core.errors.QueryError` → 400).
 
-Two spec grammars build a catalog from the command line
+Three spec grammars build a catalog from the command line
 (:func:`catalog_from_spec`):
 
 * ``demo[:n_users[:n_facilities[:n_stops[:seed]]]]`` — the synthetic
   city the benchmarks use, registered under the name ``demo``;
 * ``csv:<users_path>:<facilities_path>[:beta]`` — datasets written by
   :func:`repro.datasets.save_trajectories` /
-  :func:`~repro.datasets.save_facilities`, registered under ``main``.
+  :func:`~repro.datasets.save_facilities`, registered under ``main``;
+* ``store:<dir>`` — a persisted catalog directory precomputed offline
+  by ``python -m repro.store build``; resources reconstruct over
+  memory-mapped store files (O(open) startup) and any on-disk failure
+  (:class:`~repro.core.errors.StoreError`) surfaces as a
+  :class:`CatalogError` here, keeping the serving layer's error model.
 """
 
 from __future__ import annotations
@@ -260,7 +265,26 @@ def catalog_from_spec(spec: str) -> Catalog:
         )
         catalog.add_facility_set("main", routes, source=str(facilities_path))
         return catalog
+    if kind == "store":
+        if len(parts) < 2 or not parts[1]:
+            raise CatalogError(f"store spec is store:<dir>, got {spec!r}")
+        # a path may itself contain ':' (unusual but legal) — rejoin
+        store_dir = ":".join(parts[1:])
+        # deferred: repro.store pulls the engine in, and the catalog
+        # module is imported by lightweight wire/client code too
+        from ...core.errors import StoreError
+        from ...store import open_store_catalog
+
+        try:
+            return open_store_catalog(store_dir)
+        except StoreError as exc:
+            # the catalog boundary's error model: a broken resource is a
+            # missing resource (404-style CatalogError), not a malformed
+            # query and never a raw low-level exception
+            raise CatalogError(
+                f"cannot open store catalog {store_dir!r}: {exc}"
+            ) from exc
     raise CatalogError(
-        f"unknown catalog spec {spec!r} (expected 'demo[:...]' or "
-        "'csv:<users>:<facilities>[:beta]')"
+        f"unknown catalog spec {spec!r} (expected 'demo[:...]', "
+        "'csv:<users>:<facilities>[:beta]', or 'store:<dir>')"
     )

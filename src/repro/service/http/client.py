@@ -200,6 +200,16 @@ class ServeClient:
             wire.decode_query_stats(response.body["runtime"]),
         )
 
+    def store_stats(self):
+        """``GET /stats`` → the server's shard-store cache counters as a
+        frozen :class:`~repro.core.stats.StoreStats` (hits/misses/
+        evictions per level plus persisted-store ``opened``/
+        ``verified``)."""
+        response = self.request("GET", "/stats")
+        if response.status != 200:
+            raise self._error_for(response)
+        return wire.decode_store_stats(response.body["store"])
+
     def healthz(self) -> dict:
         response = self.request("GET", "/healthz")
         if response.status != 200:

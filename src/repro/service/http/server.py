@@ -349,6 +349,9 @@ class HttpQueryServer:
             "runtime": wire.encode_query_stats(
                 self.service.runtime.snapshot_stats()
             ),
+            "store": wire.encode_store_stats(
+                self.service.runtime.snapshot_store_stats()
+            ),
             "in_flight": self.service.in_flight,
         }
 

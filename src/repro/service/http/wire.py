@@ -50,7 +50,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ...core.errors import QueryError
 from ...core.service import ServiceModel, ServiceSpec
-from ...core.stats import QueryStats
+from ...core.stats import QueryStats, StoreStats
 from ...queries.genetic import GeneticConfig
 from ..requests import (
     EvaluateRequest,
@@ -270,6 +270,22 @@ def decode_query_stats(payload: Any) -> QueryStats:
     # truncated payload) must fail loudly, not decode as zero
     return QueryStats(
         **{name: _int_field(payload, name) for name in _QUERY_STATS_FIELDS}
+    )
+
+
+_STORE_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(StoreStats))
+
+
+def encode_store_stats(stats: StoreStats) -> dict:
+    return {name: getattr(stats, name) for name in _STORE_STATS_FIELDS}
+
+
+def decode_store_stats(payload: Any) -> StoreStats:
+    payload = _mapping(payload, "store stats")
+    _reject_unknown_keys(payload, _STORE_STATS_FIELDS, "store stats")
+    # like the query stats: every counter required, skew fails loudly
+    return StoreStats(
+        **{name: _int_field(payload, name) for name in _STORE_STATS_FIELDS}
     )
 
 

@@ -1,0 +1,48 @@
+"""Memory-mapped persistent index store.
+
+One index per file in a versioned container format (:mod:`.format`);
+:func:`save_index` / :func:`open_index` round-trip the engine's
+:class:`~repro.engine.grid.StopGrid`,
+:class:`~repro.engine.shards.ShardedStopGrid`, and
+:class:`~repro.engine.cellstring.CellstringIndex` through it with
+zero-copy ``np.memmap`` reads, so startup is O(open) instead of
+O(rebuild) and concurrent processes share one read-only mapping per
+file.  :mod:`.catalog` builds and opens whole serving catalogs
+(``python -m repro.store build`` → ``--catalog store:<dir>``).
+
+Every on-disk failure is a :class:`~repro.core.errors.StoreError`.
+"""
+
+from .catalog import build_store_catalog, open_store_catalog, read_manifest
+from .codecs import (
+    adopt_tree_node_tables,
+    open_index,
+    open_trajectory_bundle,
+    save_index,
+    save_trajectory_bundle,
+    save_tree_node_tables,
+)
+from .format import (
+    FORMAT_VERSION,
+    MAGIC,
+    inspect_store_file,
+    read_store_file,
+    write_store_file,
+)
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "write_store_file",
+    "read_store_file",
+    "inspect_store_file",
+    "save_index",
+    "open_index",
+    "save_trajectory_bundle",
+    "open_trajectory_bundle",
+    "save_tree_node_tables",
+    "adopt_tree_node_tables",
+    "build_store_catalog",
+    "open_store_catalog",
+    "read_manifest",
+]
