@@ -262,11 +262,26 @@ class ServiceConfig:
         A submission past the bound fails fast with
         :class:`~repro.core.errors.ServiceOverloaded` instead of
         growing the queue without limit.  Must be >= 1.
+    batch_window:
+        Seconds the service holds *batchable* evaluate requests open so
+        concurrent submissions against the same tree can merge into one
+        :class:`~repro.engine.BatchQueryEngine` pass (one shared
+        probe-block concat, one coverage mask per distinct
+        ``(facility, psi)``) instead of each paying a full tree walk.
+        ``0.0`` (default) disables batching entirely and preserves the
+        pre-batching scheduling byte for byte.  Only requests whose
+        arithmetic is provably bit-identical between the tree walk and
+        the batch engine join a group (see
+        ``repro.service.service`` — ENDPOINT and un-normalized COUNT
+        always; normalized COUNT when every trajectory's point count is
+        a power of two); everything else runs the unbatched path, so
+        answers never depend on this knob.
     """
 
     max_in_flight: int = 8
     coalesce_window: float = 0.0
     queue_depth: int = 64
+    batch_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -276,6 +291,10 @@ class ServiceConfig:
         if not self.coalesce_window >= 0.0:  # also rejects NaN
             raise QueryError(
                 f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if not self.batch_window >= 0.0:  # also rejects NaN
+            raise QueryError(
+                f"batch_window must be >= 0, got {self.batch_window}"
             )
         if self.queue_depth < 1:
             raise QueryError(

@@ -50,7 +50,7 @@ import functools
 import threading
 import warnings
 from concurrent.futures import Executor
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -300,6 +300,65 @@ class QueryRuntime:
         return await loop.run_in_executor(
             executor,
             functools.partial(self.probe_mask, stops, coords, psi, stats),
+        )
+
+    # ------------------------------------------------------------------
+    # the batched probe path
+    # ------------------------------------------------------------------
+    def probe_masks_batch(
+        self,
+        tasks: "Sequence[Tuple[Union[StopSet, np.ndarray], np.ndarray, float]]",
+        stats_list: "Optional[Sequence[Optional[QueryStats]]]" = None,
+    ) -> "List[np.ndarray]":
+        """Many coverage probes in one call: each task is
+        ``(stops, coords, psi)`` and yields the exact mask
+        :meth:`probe_mask` would, in task order.
+
+        This is the bridge-side entry point for cross-request batching:
+        the service's batch tier collects every distinct
+        ``(facility, psi)`` a merged group of evaluate requests needs,
+        probes them all against the group's shared probe block here,
+        and splits the returned per-task counters back onto the
+        requests — one bridge call where the unbatched path pays one
+        per request.  Tasks run sequentially on the calling thread
+        (each probe already fans out internally per the execution
+        policy when its stop set is sharded), so per-task stats are
+        attributed exactly and results are deterministic under every
+        policy.
+
+        ``stats_list``, when given, must match ``tasks`` in length;
+        entry *i* (when not ``None``) receives task *i*'s counters
+        only.  Nothing is accrued into the runtime totals — the caller
+        owns attribution, exactly as with :meth:`probe_mask`.
+        """
+        if stats_list is not None and len(stats_list) != len(tasks):
+            raise QueryError(
+                f"stats_list length {len(stats_list)} != tasks length "
+                f"{len(tasks)}"
+            )
+        masks = []
+        for i, (stops, coords, psi) in enumerate(tasks):
+            stats = stats_list[i] if stats_list is not None else None
+            masks.append(self.probe_mask(stops, coords, psi, stats))
+        return masks
+
+    async def probe_masks_batch_async(
+        self,
+        tasks: "Sequence[Tuple[Union[StopSet, np.ndarray], np.ndarray, float]]",
+        stats_list: "Optional[Sequence[Optional[QueryStats]]]" = None,
+        executor: Optional[Executor] = None,
+    ) -> "List[np.ndarray]":
+        """:meth:`probe_masks_batch` bridged onto the running event
+        loop: all the tasks' geometric work crosses to a bridge thread
+        in **one** ``run_in_executor`` hop (vs one hop per probe with
+        repeated :meth:`probe_mask_async`), which is what makes a
+        merged group of N requests cost one scheduling round trip.
+        Same stats discipline as :meth:`probe_mask_async`: the stats
+        objects are mutated from the bridge thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor,
+            functools.partial(self.probe_masks_batch, tasks, stats_list),
         )
 
     # ------------------------------------------------------------------

@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--coalesce-window", type=float, default=0.0,
         help="seconds to hold a request open for cross-request coalescing",
     )
+    service.add_argument(
+        "--batch-window", type=float, default=0.0,
+        help="seconds evaluate requests wait to merge into one batched "
+        "engine pass (0 disables batching)",
+    )
     runtime = parser.add_argument_group("runtime (execution policy)")
     runtime.add_argument(
         "--backend", default="auto",
@@ -119,6 +124,7 @@ def config_from_args(args: argparse.Namespace) -> HttpConfig:
             max_in_flight=args.max_in_flight,
             coalesce_window=args.coalesce_window,
             queue_depth=args.queue_depth,
+            batch_window=args.batch_window,
         ),
         runtime=RuntimeConfig(
             backend=ProximityBackend(args.backend),

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.errors import CatalogError, QueryError, ServiceOverloaded
 from ...core.stats import QueryStats
@@ -189,6 +189,77 @@ class ServeClient:
         if response.status == 200:
             return wire.decode_result(response.body)
         raise self._error_for(response)
+
+    def submit_many(self, payloads: Sequence[dict]) -> List[WireResult]:
+        """Pipeline a wave of ``POST /query`` bodies over the one
+        connection; answers decoded in request order.
+
+        All request bytes go out back-to-back before any response is
+        read, so the whole wave registers with the server's
+        :class:`~repro.service.QueryService` in sequence — inside one
+        ``batch_window`` they form one batch group, which is the
+        client-side half of cross-request batching (the server's
+        pipelined handler is the other).  Every response is read before
+        anything is raised — the connection stays framed — then the
+        first per-request error (request order) propagates, mirroring
+        ``QueryService.run``; callers wanting per-request outcomes
+        should send individually with :meth:`query`.
+
+        Retries the whole wave exactly once when the keep-alive
+        connection turns out dead before *any* response byte arrived
+        (nothing was processed); a connection dying after the first
+        response is an error — the remaining requests may have
+        executed.
+        """
+        if not payloads:
+            return []
+        frames = []
+        for payload in payloads:
+            body = json.dumps(payload).encode("utf-8")
+            head = (
+                f"POST /query HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            frames.append(head + body)
+        blob = b"".join(frames)
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            responses: List[HttpResponse] = []
+            try:
+                self._sock.sendall(blob)
+                for _ in payloads:
+                    if self._rfile is None:
+                        # the server closed after an earlier response
+                        # (Connection: close mid-wave, e.g. a drain)
+                        raise _DeadConnection()
+                    responses.append(self._read_response())
+            except (_DeadConnection, BrokenPipeError, ConnectionResetError):
+                self.close()
+                if responses or attempt:
+                    raise QueryError(
+                        f"connection to {self.host}:{self.port} closed "
+                        f"after {len(responses)} of {len(payloads)} "
+                        "pipelined responses"
+                    ) from None
+                continue
+            except BaseException:
+                self.close()
+                raise
+            results: List[WireResult] = []
+            first_error: Optional[Exception] = None
+            for response in responses:
+                if response.status == 200:
+                    results.append(wire.decode_result(response.body))
+                elif first_error is None:
+                    first_error = self._error_for(response)
+            if first_error is not None:
+                raise first_error
+            return results
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def stats(self) -> Tuple[ServiceStats, QueryStats]:
         """``GET /stats`` → (service counters, runtime totals)."""

@@ -31,6 +31,18 @@ shared schedule.
 Connections are HTTP/1.1 keep-alive by default (``Connection: close``
 honoured); request framing is by ``Content-Length`` (no chunked
 bodies — every client this repo ships sends measured JSON).
+
+**Pipelining.**  The connection handler decouples reading from
+dispatching: each parsed frame claims an in-order response slot and
+dispatches concurrently (bounded by ``MAX_PIPELINE`` per connection —
+past the bound the server simply stops reading, which is TCP
+backpressure), while a per-connection writer coroutine writes the
+responses strictly in request order, as HTTP/1.1 pipelining requires.
+This is what lets :meth:`ServeClient.submit_many` land a whole wave of
+``POST /query`` bodies inside one service ``batch_window`` over a
+single socket — a serial handler would hold request *N+1* unread until
+request *N*'s response was written, stretching every wave into a chain
+of one-member groups.
 """
 
 from __future__ import annotations
@@ -64,6 +76,13 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: What a 503 tells the client about when to come back.
 RETRY_AFTER_SECONDS = 1
+
+#: How many pipelined requests one connection may have dispatched and
+#: unanswered before the server stops reading from it (the service's
+#: own ``queue_depth`` still bounds total admitted work across
+#: connections — this bound only keeps one peer from buffering
+#: unbounded response state).
+MAX_PIPELINE = 64
 
 _REASONS = {
     200: "OK",
@@ -171,43 +190,105 @@ class HttpQueryServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Read frames and dispatch them concurrently; a writer
+        coroutine answers in request order (see *Pipelining* in the
+        module docstring).  Every dispatched request runs to completion
+        even when the peer vanishes mid-pipeline — admitted work is
+        never cancelled, matching the drain semantics."""
         self._writers.add(writer)
+        loop = asyncio.get_running_loop()
+        # (response future, close-after?) in request order; None ends it
+        queue: asyncio.Queue = asyncio.Queue(MAX_PIPELINE)
+        write_loop = asyncio.ensure_future(self._write_loop(writer, queue))
+        # strong refs: a bare ensure_future result may be collected
+        # mid-flight (the loop holds only weak task references)
+        dispatches: Set[asyncio.Task] = set()
         try:
             while True:
                 try:
                     frame = await self._read_request(reader)
                 except _ProtocolError as exc:
-                    await self._write_response(
-                        writer,
+                    slot: asyncio.Future = loop.create_future()
+                    slot.set_result(
                         _Response(
                             exc.status,
                             {"error": "bad_request", "detail": exc.detail},
-                        ),
-                        close=True,
+                        )
                     )
-                    return
+                    # in-order like any response: pipelined requests
+                    # ahead of the malformed frame still get answered
+                    await queue.put((slot, True))
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break  # peer went away mid-frame; nothing to answer
                 if frame is None:
-                    return  # clean EOF between requests
+                    break  # clean EOF between requests
                 method, path, headers, body = frame
-                self._busy += 1
-                self._idle.clear()
-                try:
-                    response = await self._dispatch(method, path, body)
-                finally:
-                    self._busy -= 1
-                    if self._busy == 0:
-                        self._idle.set()
                 close = self._draining or _wants_close(headers)
-                await self._write_response(writer, response, close=close)
+                slot = loop.create_future()
+                # blocks at MAX_PIPELINE in-flight responses — the read
+                # loop stalling is exactly the backpressure we want
+                await queue.put((slot, close))
+                task = asyncio.ensure_future(
+                    self._dispatch_to(slot, method, path, body)
+                )
+                dispatches.add(task)
+                task.add_done_callback(dispatches.discard)
                 if close:
-                    return
-        except (ConnectionError, asyncio.IncompleteReadError):
-            return  # peer went away mid-frame; nothing to answer
+                    break
+            await queue.put(None)
+            await write_loop
         finally:
+            if not write_loop.done():
+                write_loop.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await write_loop
             self._writers.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _dispatch_to(
+        self, slot: asyncio.Future, method: str, path: str, body: bytes
+    ) -> None:
+        """One request's dispatch, resolving its in-order response
+        slot.  Busy accounting lives here now: the connection is busy
+        while any slot is unresolved, which is what drain waits on."""
+        self._busy += 1
+        self._idle.clear()
+        try:
+            response = await self._dispatch(method, path, body)
+        except Exception as exc:  # pragma: no cover - genuine server bug
+            response = _Response(
+                500,
+                {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+        finally:
+            self._busy -= 1
+            if self._busy == 0:
+                self._idle.set()
+        if not slot.done():
+            slot.set_result(response)
+
+    async def _write_loop(
+        self, writer: asyncio.StreamWriter, queue: asyncio.Queue
+    ) -> None:
+        """Answer in request order.  A write failure (peer gone) stops
+        writing but keeps consuming slots, so every dispatched request
+        still completes and the busy count drains truthfully."""
+        broken = False
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            slot, close = item
+            response = await slot
+            if broken:
+                continue
+            try:
+                await self._write_response(writer, response, close=close)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                broken = True
 
     async def _read_request(
         self, reader: asyncio.StreamReader

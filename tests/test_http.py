@@ -149,6 +149,56 @@ class TestHttpDifferential:
             merged = merged.merge(r.stats)
         assert runtime_stats == merged
 
+    def test_submit_many_pipelines_and_batches(self, catalog, facilities):
+        """A submit_many wave over one keep-alive connection answers
+        identically to the same payloads sent one at a time — and with
+        the server's batch_window open, the whole wave merges into the
+        batched tier (visible as probe_units_batched on /stats)."""
+        n = min(8, len(facilities))
+        payloads = [
+            {"type": "evaluate", "tree": "city", "facility_set": "buses",
+             "facility_id": facilities[i].facility_id, "spec": SPEC}
+            for i in range(n)
+        ]
+        with background_server(catalog, runtime_config=RUNTIME_CONFIG) as h:
+            with ServeClient(h.host, h.port) as client:
+                singles = [client.query(p) for p in payloads]
+        with background_server(
+            catalog,
+            runtime_config=RUNTIME_CONFIG,
+            service_config=ServiceConfig(batch_window=0.05),
+        ) as h:
+            with ServeClient(h.host, h.port) as client:
+                wave = client.submit_many(payloads)
+                service_stats, _ = client.stats()
+        assert [r.value for r in wave] == [r.value for r in singles]
+        assert service_stats.probe_units_batched == n
+        assert service_stats.requests_completed == n
+        # an empty wave is a no-op, not a protocol exchange
+        with background_server(catalog, runtime_config=RUNTIME_CONFIG) as h:
+            with ServeClient(h.host, h.port) as client:
+                assert client.submit_many([]) == []
+
+    def test_submit_many_surfaces_first_error_in_order(self, catalog):
+        """Every response in a pipelined wave is read before any error
+        propagates (the connection stays framed), and the error raised
+        is the first failing request's, in request order."""
+        payloads = [
+            {"type": "evaluate", "tree": "city", "facility_set": "buses",
+             "facility_id": 0, "spec": SPEC},
+            {"type": "evaluate", "tree": "nope", "facility_set": "buses",
+             "facility_id": 0, "spec": SPEC},          # 404 CatalogError
+            {"type": "evaluate", "tree": "city", "facility_set": "buses",
+             "facility_id": 0, "spec": {"model": "bogus", "psi": PSI}},
+        ]
+        with background_server(catalog, runtime_config=RUNTIME_CONFIG) as h:
+            with ServeClient(h.host, h.port) as client:
+                with pytest.raises(CatalogError):
+                    client.submit_many(payloads)
+                # the connection survived the wave: still usable
+                follow_up = client.query(payloads[0])
+                assert follow_up.value == follow_up.value
+
     def test_healthz_and_catalog_endpoints(self, catalog, facilities):
         with background_server(catalog, runtime_config=RUNTIME_CONFIG) as h:
             with ServeClient(h.host, h.port) as client:
