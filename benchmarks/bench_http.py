@@ -36,6 +36,16 @@ before timing.  This measures the full story end-to-end: pipelined
 framing lands the wave inside one window, the service merges it into
 one engine pass, and ``probe_units_batched`` on ``GET /stats``
 confirms over the wire that the merge actually happened.
+
+The **workers leg** (``--workers N``, default 2) builds a small
+persisted store catalog and serves it twice: one plain process, then a
+prefork :class:`~repro.service.http.Supervisor` pool of N workers over
+the *same* memory-mapped index files.  Answers are asserted equal, and
+every worker's ``/stats`` section must show mmap-backed store paths and
+zero shared-memory segments — the zero-copy scale-out contract.  The
+RPS ratio is asserted near-linear only when ``cpu_count > 1``; on a
+1-CPU host the claim carries ``scaling: parity-only``.  ``--smoke``
+runs just this leg at reduced size for CI.
 """
 
 from __future__ import annotations
@@ -44,14 +54,22 @@ import argparse
 import asyncio
 import dataclasses
 import json
+import os
+import tempfile
 import threading
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import WorkloadFactory, host_metadata, time_call
+from repro.bench.harness import (
+    WorkloadFactory,
+    host_metadata,
+    tag_scaling_claim,
+    time_call,
+)
 from repro.core.config import (
+    HttpConfig,
     ProximityBackend,
     RuntimeConfig,
     ServiceConfig,
@@ -61,6 +79,7 @@ from repro.service import QueryService
 from repro.service.http import (
     Catalog,
     ServeClient,
+    Supervisor,
     background_server,
     catalog_from_spec,
     wire_result,
@@ -107,22 +126,28 @@ def _catalog(factory: WorkloadFactory, n_users: int, n_facilities: int) -> Catal
     return catalog
 
 
-def _payloads(catalog: Catalog, n_requests: int, overlap: float):
+def _payloads(
+    catalog: Catalog,
+    n_requests: int,
+    overlap: float,
+    tree: str = TREE,
+    buses: str = BUSES,
+):
     """The bench_service mixed batch, as wire payloads.
 
     ``overlap`` sets facility reuse: evaluate requests draw round-robin
     from a pool of ``round(n * (1 - overlap))`` facility ids; the final
     two requests are a kMaxRRST and a MaxkCov over the first eight.
     """
-    ids = [f.facility_id for f in catalog.facility_set(BUSES)]
+    ids = [f.facility_id for f in catalog.facility_set(buses)]
     n_evaluate = n_requests - 2
     pool_size = max(1, round(n_evaluate * (1.0 - overlap)))
     pool = [ids[i % len(ids)] for i in range(pool_size)]
     payloads = [
         {
             "type": "evaluate",
-            "tree": TREE,
-            "facility_set": BUSES,
+            "tree": tree,
+            "facility_set": buses,
             "facility_id": pool[i % pool_size],
             "spec": {"model": _MODELS[i % len(_MODELS)], "psi": PSI},
         }
@@ -131,11 +156,11 @@ def _payloads(catalog: Catalog, n_requests: int, overlap: float):
     head = ids[:8]
     spec = {"model": "endpoint", "psi": PSI}
     payloads.append(
-        {"type": "kmaxrrst", "tree": TREE, "facility_set": BUSES,
+        {"type": "kmaxrrst", "tree": tree, "facility_set": buses,
          "facility_ids": head, "k": 3, "spec": spec}
     )
     payloads.append(
-        {"type": "maxkcov", "tree": TREE, "facility_set": BUSES,
+        {"type": "maxkcov", "tree": tree, "facility_set": buses,
          "facility_ids": head, "k": 2, "spec": spec}
     )
     return payloads
@@ -297,7 +322,169 @@ def _cold_start_leg(catalog_spec: str) -> dict:
     }
 
 
-def main(out_path: str = None, catalog_spec: str = None) -> dict:
+# ----------------------------------------------------------------------
+# the workers leg: 1 vs N prefork workers over one shared store catalog
+# ----------------------------------------------------------------------
+#: Store-catalog source for the workers leg (small enough to build in
+#: seconds; shard count pinned so serving opens the persisted files).
+_WORKERS_SOURCE = "demo:1200:24:16:7"
+_WORKERS_SHARDS = 2
+
+
+def _fanout_pass(host: str, port: int, payloads, n_clients: int = N_CLIENTS):
+    """The batch against an already-running server, from ``n_clients``
+    keep-alive connections; returns decoded results in payload order."""
+    results = [None] * len(payloads)
+    errors = []
+
+    def worker(slot: int) -> None:
+        try:
+            with ServeClient(host, port) as client:
+                for i in range(slot, len(payloads), n_clients):
+                    results[i] = client.query(payloads[i])
+        except Exception as exc:  # pragma: no cover - harness failure
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+def _workers_leg(
+    n_workers: int, n_requests: int = N_REQUESTS, repeats: int = 3
+) -> dict:
+    """1 vs ``n_workers`` serving processes over one store catalog.
+
+    Parity is asserted in-harness (the multi-worker pool's decoded
+    answers must equal the single-process server's for the identical
+    batch), and every worker must serve the catalog through mmap views
+    only — ``mmap_paths`` non-empty, ``shm_segments == 0`` on each
+    worker's stats section.  The RPS ratio is asserted near-linear
+    (>= 0.6x of the ideal ``min(n_workers, cpu_count)``) **only when
+    the host has more than one CPU**; on a 1-CPU box the ratio is
+    recorded and the claim tagged parity-only — see
+    :func:`repro.bench.harness.tag_scaling_claim`.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-http-store-") as store_dir:
+        from repro.store.catalog import build_store_catalog
+
+        build_store_catalog(
+            store_dir, source_spec=_WORKERS_SOURCE,
+            psi_values=(PSI,), n_shards=_WORKERS_SHARDS,
+        )
+        spec = f"store:{store_dir}"
+        catalog = catalog_from_spec(spec)
+        tree = catalog.tree_names[0]
+        buses = catalog.facility_set_names[0]
+        payloads = _payloads(catalog, n_requests, 0.0, tree=tree, buses=buses)
+        runtime_config = dataclasses.replace(
+            _runtime_config(), shards=_WORKERS_SHARDS, store_dir=store_dir
+        )
+
+        # single-process reference: answers + RPS
+        with background_server(
+            catalog,
+            runtime_config=runtime_config,
+            service_config=_service_config(),
+        ) as handle:
+            single_results = _fanout_pass(handle.host, handle.port, payloads)
+            _, single_s = time_call(
+                lambda: _fanout_pass(handle.host, handle.port, payloads),
+                repeats=repeats,
+            )
+
+        # the prefork pool over the same immutable store files
+        http_config = HttpConfig(
+            port=0, catalog=spec, workers=n_workers,
+            service=_service_config(), runtime=runtime_config,
+        )
+        with Supervisor(http_config) as supervisor:
+            host, port = supervisor.address
+            multi_results = _fanout_pass(host, port, payloads)
+            if _values(multi_results) != _values(single_results):
+                raise AssertionError(
+                    f"{n_workers}-worker answers diverge from the "
+                    "single-process server"
+                )
+            _, multi_s = time_call(
+                lambda: _fanout_pass(host, port, payloads), repeats=repeats
+            )
+            with ServeClient(host, port) as client:
+                stats = client.request("GET", "/stats").body
+        worker_sections = {
+            index: payload.get("worker", {})
+            for index, payload in stats.get("workers", {}).items()
+            if "error" not in payload
+        }
+        if len(worker_sections) != n_workers:
+            raise AssertionError(
+                f"expected {n_workers} reachable workers in /stats, got "
+                f"{sorted(worker_sections)}"
+            )
+        for index, section in worker_sections.items():
+            if not section.get("mmap_paths"):
+                raise AssertionError(
+                    f"worker {index} reports no mmap-backed store files — "
+                    "the zero-copy catalog claim does not hold"
+                )
+            if section.get("shm_segments", 0) != 0:
+                raise AssertionError(
+                    f"worker {index} created {section['shm_segments']} "
+                    "shared-memory segments while serving a store catalog"
+                )
+
+    speedup = single_s / multi_s
+    cpus = os.cpu_count() or 1
+    ideal = min(n_workers, cpus)
+    if cpus > 1 and speedup < 0.6 * ideal:
+        raise AssertionError(
+            f"{n_workers} workers on {cpus} CPUs reached only "
+            f"{speedup:.2f}x of the single-process RPS (>= {0.6 * ideal:.1f}x "
+            "expected for near-linear scaling)"
+        )
+    return {
+        "n_workers": n_workers,
+        "n_requests": n_requests,
+        "n_clients": N_CLIENTS,
+        "catalog_source": _WORKERS_SOURCE,
+        "single_seconds": single_s,
+        "multi_seconds": multi_s,
+        "single_rps": n_requests / single_s,
+        "multi_rps": n_requests / multi_s,
+        "workers_speedup": speedup,
+        "answers_equal": True,
+        "per_worker_mmap_paths": {
+            index: len(section.get("mmap_paths", ()))
+            for index, section in sorted(worker_sections.items())
+        },
+        "shm_segments_total": sum(
+            section.get("shm_segments", 0)
+            for section in worker_sections.values()
+        ),
+    }
+
+
+def run_smoke(n_workers: int = 2) -> dict:
+    """The CI smoke: just the workers leg, scaled down, nothing written."""
+    leg = _workers_leg(n_workers, n_requests=32, repeats=1)
+    print(
+        f"  smoke: {n_workers} workers {leg['multi_rps']:.0f} rps vs "
+        f"single {leg['single_rps']:.0f} rps "
+        f"({leg['workers_speedup']:.2f}x, answers equal, "
+        f"shm segments: {leg['shm_segments_total']})"
+    )
+    return leg
+
+
+def main(out_path: str = None, catalog_spec: str = None, workers: int = 2) -> dict:
     """Measure the sweep, verify parity, write ``BENCH_http.json``."""
     factory = WorkloadFactory()
     catalog = _catalog(factory, _N_USERS, _N_FACILITY_POOL)
@@ -394,12 +581,22 @@ def main(out_path: str = None, catalog_spec: str = None) -> dict:
             f"{c['first_query_seconds']*1e3:.1f}ms "
             f"(indexes opened: {c['indexes_opened']})"
         )
+    # the workers leg: 1 vs N prefork processes over one store catalog
+    if workers and workers > 1:
+        report["workers"] = _workers_leg(workers)
+        w = report["workers"]
+        print(
+            f"  workers ({w['n_workers']} prefork, store catalog): "
+            f"{w['multi_rps']:.0f} rps vs single {w['single_rps']:.0f} rps "
+            f"({w['workers_speedup']:.2f}x, answers equal, "
+            f"shm segments: {w['shm_segments_total']})"
+        )
     target = (
         Path(out_path)
         if out_path
         else Path(__file__).resolve().parent.parent / "BENCH_http.json"
     )
-    report["claim"] = {
+    claim = {
         "description": (
             "stdlib HTTP front (asyncio.start_server + JSON wire "
             "schema) vs the in-process QueryService, 64 mixed requests "
@@ -411,7 +608,11 @@ def main(out_path: str = None, catalog_spec: str = None) -> dict:
             "The batched block pipelines 64 distinct evaluates through "
             "submit_many on one connection against batch_window on/off "
             "(values asserted equal before timing); timings include "
-            "full server bring-up and teardown per pass"
+            "full server bring-up and teardown per pass.  The workers "
+            "block compares one process against a prefork pool over "
+            "the same mmap-backed store catalog (answers and zero-copy "
+            "serving asserted in-harness); its speedup is scaling "
+            "evidence only when claim.scaling == 'measured'"
         ),
         "http_dedup_rate_by_overlap": {
             str(r["overlap"]): r["http_dedup_rate"] for r in report["rows"]
@@ -421,6 +622,9 @@ def main(out_path: str = None, catalog_spec: str = None) -> dict:
             max(r["throughput_rps"] for r in report["rows"]),
         ],
     }
+    if "workers" in report:
+        claim["workers_speedup"] = report["workers"]["workers_speedup"]
+    report["claim"] = tag_scaling_claim(claim, host=report["host"])
     target.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {target}")
     for r in report["rows"]:
@@ -445,5 +649,22 @@ if __name__ == "__main__":
             "'demo' for the build-everything baseline)"
         ),
     )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="prefork pool size for the workers leg (0 or 1 skips it)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI mode: run only the workers leg at reduced size and "
+            "write nothing (unless --out is given)"
+        ),
+    )
     args = parser.parse_args()
-    main(out_path=args.out, catalog_spec=args.catalog)
+    if args.smoke:
+        leg = run_smoke(max(2, args.workers))
+        if args.out:
+            Path(args.out).write_text(json.dumps(leg, indent=2) + "\n")
+    else:
+        main(out_path=args.out, catalog_spec=args.catalog,
+             workers=args.workers)

@@ -34,7 +34,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import WorkloadFactory, host_metadata, scaled, time_call
+from repro.bench.harness import (
+    WorkloadFactory,
+    host_metadata,
+    scaled,
+    tag_scaling_claim,
+    time_call,
+)
 from repro.core.config import ProximityBackend, RuntimeConfig, auto_shard_count
 from repro.core.service import ServiceModel, ServiceSpec
 from repro.engine import BatchQueryEngine
@@ -185,21 +191,25 @@ def main(out_path: str = None) -> dict:
         if out_path
         else Path(__file__).resolve().parent.parent / "BENCH_policies.json"
     )
-    report["claim"] = {
-        "description": (
-            "execution policies vs serial shard probing, 10k-50k stops, "
-            "AUTO shard count; parity (scores and merged stats) verified "
-            "in-harness for every row"
-        ),
-        "threads_speedup_range": [
-            min(r["threads_speedup"] for r in report["rows"]),
-            max(r["threads_speedup"] for r in report["rows"]),
-        ],
-        "processes_speedup_range": [
-            min(r["processes_speedup"] for r in report["rows"]),
-            max(r["processes_speedup"] for r in report["rows"]),
-        ],
-    }
+    report["claim"] = tag_scaling_claim(
+        {
+            "description": (
+                "execution policies vs serial shard probing, 10k-50k stops, "
+                "AUTO shard count; parity (scores and merged stats) verified "
+                "in-harness for every row; speedup ratios are scaling "
+                "evidence only when claim.scaling == 'measured'"
+            ),
+            "threads_speedup_range": [
+                min(r["threads_speedup"] for r in report["rows"]),
+                max(r["threads_speedup"] for r in report["rows"]),
+            ],
+            "processes_speedup_range": [
+                min(r["processes_speedup"] for r in report["rows"]),
+                max(r["processes_speedup"] for r in report["rows"]),
+            ],
+        },
+        host=report["host"],
+    )
     target.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {target}")
     for r in report["rows"]:

@@ -48,6 +48,8 @@ __all__ = [
     "Timer",
     "time_call",
     "host_metadata",
+    "scaling_tag",
+    "tag_scaling_claim",
     "WorkloadFactory",
     "DEFAULTS",
     "parse_runtime_spec",
@@ -71,6 +73,51 @@ def host_metadata() -> Dict[str, object]:
         "mp_start_method": multiprocessing.get_start_method(),
         "bench_scale": bench_scale(),
     }
+
+
+def scaling_tag(host: Optional[Dict[str, object]] = None) -> str:
+    """``"measured"`` or ``"parity-only"``: whether a concurrency
+    speedup recorded on this host can mean anything.
+
+    On a ``cpu_count == 1`` host, threads, processes, and serving
+    workers all timeshare one core, so any thread/process/worker
+    "speedup" hovers at ~1.0x *by construction* — such a ratio
+    certifies parity and bounded overhead, never scaling.  ``host``
+    defaults to the live machine; pass a recorded host block to tag a
+    claim by the machine that actually produced it.
+    """
+    host = host_metadata() if host is None else host
+    try:
+        cpus = int(host.get("cpu_count") or 1)
+    except (TypeError, ValueError):
+        cpus = 1
+    return "measured" if cpus > 1 else "parity-only"
+
+
+def tag_scaling_claim(
+    claim: Dict[str, object], host: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Stamp a concurrency-speedup claim block in place (and return it).
+
+    Every ``BENCH_*.json`` claim whose ratios compare threads,
+    processes, or serving workers against a serial run must carry this
+    tag so the payload cannot be misread as real scaling when it was
+    measured on a box that cannot scale.  Adds ``scaling`` (see
+    :func:`scaling_tag`) and, when parity-only, a human-readable
+    ``scaling_note`` saying what the numbers do and do not certify.
+    """
+    tag = scaling_tag(host)
+    claim["scaling"] = tag
+    if tag == "parity-only":
+        claim["scaling_note"] = (
+            "measured on a 1-CPU host: concurrent executors timeshare "
+            "one core, so speedup ratios certify parity and bounded "
+            "overhead only — not scaling; re-run on a multi-core host "
+            "for scaling numbers"
+        )
+    else:
+        claim.pop("scaling_note", None)
+    return claim
 
 
 @dataclass(frozen=True)

@@ -319,7 +319,33 @@ class HttpConfig:
     host / port:
         The listen address.  ``port=0`` asks the OS for an ephemeral
         port (the bound port is reported by the server once started —
-        what the tests and the benchmark harness use).
+        what the tests and the benchmark harness use; the supervisor
+        resolves the shared port before any worker launches, so
+        multi-worker deployments support ephemeral ports identically).
+    workers:
+        How many serving processes answer the listen address.  ``1``
+        (default) is the classic single-process server.  ``>= 2``
+        starts a prefork supervisor (:mod:`repro.service.http
+        .supervisor`): N worker processes, each running a full
+        ``QueryRuntime → QueryService → HTTP server`` stack, sharing
+        one listen port.  Worker count never changes a query answer —
+        every worker runs the same stack over the same catalog — only
+        how many cores serve it.
+    start_method:
+        ``multiprocessing`` start method for the supervisor's workers:
+        ``"fork"``, ``"spawn"``, ``"forkserver"``, or ``None`` for the
+        platform default.  Under ``fork`` the supervisor resolves the
+        catalog once and workers inherit it copy-on-write; under
+        ``spawn``/``forkserver`` each worker re-opens the catalog spec
+        (O(open) for ``store:<dir>`` catalogs — the memory-mapped
+        index files are still shared through the page cache).
+    listener:
+        How workers share the listen port: ``"reuseport"`` (each
+        worker binds its own ``SO_REUSEPORT`` socket — the kernel
+        load-balances accepts), ``"inherit"`` (the supervisor binds
+        one listening socket and every worker accepts on it), or
+        ``"auto"`` (default: ``reuseport`` where the platform supports
+        it, ``inherit`` otherwise).  Ignored when ``workers == 1``.
     catalog:
         The resource-catalog spec resolved at startup by
         :func:`repro.service.http.catalog_from_spec` — which trees and
@@ -338,6 +364,9 @@ class HttpConfig:
     port: int = 8314
     catalog: str = "demo"
     drain_timeout: float = 10.0
+    workers: int = 1
+    start_method: Optional[str] = None
+    listener: str = "auto"
     service: ServiceConfig = field(default_factory=ServiceConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
 
@@ -353,6 +382,20 @@ class HttpConfig:
         if not self.drain_timeout >= 0.0:  # also rejects NaN
             raise QueryError(
                 f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise QueryError(f"workers must be an integer, got {self.workers!r}")
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.start_method not in _START_METHODS:
+            raise QueryError(
+                f"unknown start method: {self.start_method!r} (choose "
+                f"from {_START_METHODS})"
+            )
+        if self.listener not in ("auto", "reuseport", "inherit"):
+            raise QueryError(
+                f"listener must be 'auto', 'reuseport', or 'inherit', "
+                f"got {self.listener!r}"
             )
         if not isinstance(self.service, ServiceConfig):
             raise QueryError(f"service must be a ServiceConfig, got {self.service!r}")

@@ -47,7 +47,7 @@ import os
 import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -345,6 +345,11 @@ class ShardStore:
         self.cellstring_evictions = 0
         self.opened = 0
         self.verified = 0
+        #: Paths of persisted store files served over memmap views (the
+        #: zero-copy evidence the serving layer's ``worker_mmap_paths``
+        #: introspection reports): every entry is an index this store
+        #: *opened* instead of building.
+        self.opened_paths: Set[str] = set()
         self._lock = threading.RLock()
 
     @staticmethod
@@ -374,6 +379,7 @@ class ShardStore:
         except StoreError:
             return None
         self.opened += 1
+        self.opened_paths.add(os.path.abspath(path))
         return index
 
     # ------------------------------------------------------------------

@@ -423,6 +423,11 @@ class ProcessPolicyExecutor(PolicyExecutor):
         #: how many shard exports were copied into shared memory.
         self.mmap_shipped = 0
         self.shm_shipped = 0
+        #: Distinct store-file paths shipped as mmap descriptors —
+        #: parent-side record of the zero-copy transport, readable
+        #: without probing the pool (the serving stats report it per
+        #: prefork worker).
+        self.mmap_paths_shipped: set = set()
         # Safety net for executors dropped without close(): named
         # segments outlive the objects that created them, so GC alone
         # would leak them until interpreter exit (or past it, under
@@ -490,6 +495,7 @@ class ProcessPolicyExecutor(PolicyExecutor):
             # for close() to unlink
             with self._lock:
                 self.mmap_shipped += 1
+                self.mmap_paths_shipped.add(shard.store_path)
             return ("mmap", shard.store_path, shard.shard_index)
         # under the lock: a shared service runtime can probe the same
         # not-yet-exported shard from two threads at once, and the loser

@@ -67,6 +67,7 @@ from ..engine.cache import CoverageCache
 from ..engine.cellstring import AUTO_CELLSTRING_MIN_STOPS, CellstringStopSet
 from ..engine.grid import AUTO_MIN_STOPS, GriddedStopSet
 from ..engine.shards import ShardedStopSet, ShardStore
+from ..store.codecs import opened_mmap_paths
 from .policies import make_policy_executor
 
 __all__ = ["QueryRuntime", "coerce_runtime"]
@@ -405,6 +406,34 @@ class QueryRuntime:
         reports this next to the query totals.
         """
         return self.shard_store.snapshot_stats()
+
+    def worker_mmap_paths(self) -> Tuple[str, ...]:
+        """The persisted store files this process serves over memory-
+        mapped views: everything any codec mmap-opened (catalog
+        payloads included), everything the shard store *opened* instead
+        of building, plus — under the processes policy — every store
+        path shipped to pool workers as an mmap descriptor.
+
+        This is the zero-copy evidence the multi-worker serving layer
+        reports per worker on ``GET /stats``: a worker whose indexes
+        all arrive here created no private index copies.  Reads only
+        parent-side records — cheap enough for a stats handler, no pool
+        probing.
+        """
+        paths = set(opened_mmap_paths())
+        paths.update(self.shard_store.opened_paths)
+        executor = self.policy_executor
+        paths.update(getattr(executor, "mmap_paths_shipped", ()))
+        return tuple(sorted(paths))
+
+    def shm_segments_created(self) -> int:
+        """How many shard exports this runtime copied into
+        ``multiprocessing.shared_memory`` segments (0 under every
+        policy but ``processes``, and 0 under ``processes`` when every
+        probed shard rode the mmap transport instead — the assertion
+        the store-catalog serving tests make)."""
+        executor = self.policy_executor
+        return int(getattr(executor, "shm_shipped", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -23,7 +23,6 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
-import dataclasses
 import signal
 import sys
 from typing import Optional, Sequence
@@ -39,6 +38,7 @@ from .core.config import (
 from .core.errors import ReproError
 from .service.http import catalog_from_spec
 from .service.http.server import serving
+from .service.http.supervisor import run_supervisor, with_derived_store_dir
 
 __all__ = ["build_parser", "config_from_args", "run", "main"]
 
@@ -72,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--drain-timeout", type=float, default=10.0,
         help="seconds to wait for in-flight requests at shutdown",
+    )
+    scaleout = parser.add_argument_group("scale-out (prefork workers)")
+    scaleout.add_argument(
+        "--workers", type=int, default=1,
+        help="serving processes sharing the listen port; each runs the "
+        "full runtime/service/HTTP stack over the same memory-mapped "
+        "store catalog (1 = classic single-process server)",
+    )
+    scaleout.add_argument(
+        "--start-method", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for workers "
+        "(default: the platform default)",
+    )
+    scaleout.add_argument(
+        "--listener", default="auto", choices=["auto", "reuseport", "inherit"],
+        help="how workers share the port: per-worker SO_REUSEPORT "
+        "sockets, or one supervisor-bound socket inherited by all "
+        "(auto prefers reuseport where available)",
     )
     service = parser.add_argument_group("service (admission + coalescing)")
     service.add_argument(
@@ -120,6 +139,9 @@ def config_from_args(args: argparse.Namespace) -> HttpConfig:
         port=args.port,
         catalog=args.catalog,
         drain_timeout=args.drain_timeout,
+        workers=args.workers,
+        start_method=args.start_method,
+        listener=args.listener,
         service=ServiceConfig(
             max_in_flight=args.max_in_flight,
             coalesce_window=args.coalesce_window,
@@ -138,15 +160,18 @@ def config_from_args(args: argparse.Namespace) -> HttpConfig:
 def run(config: HttpConfig) -> int:
     """Build the deployment described by ``config`` and serve until a
     termination signal arrives."""
-    if config.catalog.startswith("store:") and config.runtime.store_dir is None:
-        # the catalog directory doubles as the runtime's persisted-index
-        # spill: ShardStore opens precomputed grid/cellstring files from
-        # it instead of rebuilding them on first query
-        store_dir = config.catalog.split(":", 1)[1]
-        config = dataclasses.replace(
-            config,
-            runtime=dataclasses.replace(config.runtime, store_dir=store_dir),
-        )
+    # for store catalogs the catalog directory doubles as the runtime's
+    # persisted-index spill: ShardStore opens precomputed grid/cellstring
+    # files from it instead of rebuilding them on first query
+    config = with_derived_store_dir(config)
+    if config.workers > 1:
+        # prefork scale-out: a supervisor owns the port, N worker
+        # processes each run this module's single-process stack
+        try:
+            return run_supervisor(config)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(f"resolving catalog {config.catalog!r} ...", flush=True)
     try:
         catalog = catalog_from_spec(config.catalog)

@@ -10,19 +10,30 @@ Three pieces, one per layer of the network story:
 * :mod:`~repro.service.http.server` / :mod:`~repro.service.http.client`
   — the ``asyncio.start_server`` HTTP/1.1 server (routes, error
   mapping, graceful drain) and the blocking stdlib client the tests
-  and benchmark drive it with.
+  and benchmark drive it with;
+* :mod:`~repro.service.http.supervisor` — the prefork scale-out layer:
+  N worker processes sharing one listen port over the same
+  memory-mapped store catalog.
 
-Run a server from the command line with ``python -m repro.serve``.
+Run a server from the command line with ``python -m repro.serve``
+(``--workers N`` for the prefork pool).
 """
 
 from .catalog import Catalog, build_demo_catalog, catalog_from_spec
-from .client import HttpResponse, ServeClient
+from .client import (
+    ConnectionLost,
+    HttpResponse,
+    ServeClient,
+    ShardedServeClient,
+)
 from .server import (
     BackgroundServer,
     HttpQueryServer,
+    WorkerPeer,
     background_server,
     serving,
 )
+from .supervisor import Supervisor, reuseport_available, run_supervisor
 from .wire import (
     WireFleet,
     WireRanking,
@@ -41,7 +52,13 @@ __all__ = [
     "BackgroundServer",
     "background_server",
     "serving",
+    "WorkerPeer",
+    "Supervisor",
+    "run_supervisor",
+    "reuseport_available",
     "ServeClient",
+    "ShardedServeClient",
+    "ConnectionLost",
     "HttpResponse",
     "WireResult",
     "WireRanking",

@@ -59,6 +59,13 @@ class Catalog:
         self._facility_sets: Dict[str, Tuple[FacilityRoute, ...]] = {}
         self._facility_index: Dict[str, Dict[int, FacilityRoute]] = {}
         self._facility_sources: Dict[str, str] = {}
+        #: The CLI spec this catalog was resolved from, when it came
+        #: through :func:`catalog_from_spec` (``None`` for hand-built
+        #: catalogs).  Surfaced on ``GET /catalog`` so a prefork pool —
+        #: where spawn-mode workers each re-open the spec themselves —
+        #: is checkable over the wire: every worker should report the
+        #: same spec.
+        self.spec: Optional[str] = None
 
     # ------------------------------------------------------------------
     # registration
@@ -162,6 +169,7 @@ class Catalog:
     def describe(self) -> dict:
         """The JSON-ready shape ``GET /catalog`` returns."""
         return {
+            "spec": self.spec,
             "trees": {
                 name: {
                     "n_trajectories": tree.n_trajectories,
@@ -222,7 +230,14 @@ def build_demo_catalog(
 
 
 def catalog_from_spec(spec: str) -> Catalog:
-    """Resolve a CLI catalog spec (grammar in the module docstring)."""
+    """Resolve a CLI catalog spec (grammar in the module docstring).
+    The returned catalog remembers the spec on ``.spec``."""
+    catalog = _catalog_from_spec(spec)
+    catalog.spec = spec
+    return catalog
+
+
+def _catalog_from_spec(spec: str) -> Catalog:
     parts = spec.split(":")
     kind = parts[0]
     if kind == "demo":

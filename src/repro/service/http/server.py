@@ -49,10 +49,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
+import os
+import socket
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...core.config import RuntimeConfig, ServiceConfig
 from ...core.errors import CatalogError, QueryError, ServiceOverloaded
@@ -63,10 +66,38 @@ from .catalog import Catalog
 
 __all__ = [
     "HttpQueryServer",
+    "WorkerPeer",
     "BackgroundServer",
     "background_server",
     "serving",
 ]
+
+#: How long one worker waits for a peer's ``/stats?scope=local`` when
+#: aggregating — a dead peer (killed, mid-respawn) must degrade the
+#: aggregate, not hang it.
+PEER_STATS_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class WorkerPeer:
+    """One worker process in a prefork pool, as every other worker (and
+    the ``/workers`` route) sees it: its pool index, its pid, and its
+    *direct* address — the worker-private listener used for peer stats
+    fan-out and client-side resource affinity, as opposed to the shared
+    front port the kernel load-balances."""
+
+    index: int
+    pid: int
+    host: str
+    port: int
+
+    def as_wire(self) -> dict:
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "host": self.host,
+            "port": self.port,
+        }
 
 #: Framing bounds: a request line / header block / body larger than
 #: these is rejected rather than buffered without limit.
@@ -127,14 +158,25 @@ class HttpQueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         drain_timeout: float = 10.0,
+        sockets: Optional[Sequence[socket.socket]] = None,
+        worker_index: Optional[int] = None,
     ) -> None:
         self.service = service
         self.catalog = catalog
         self._host = host
         self._port = port
         self._drain_timeout = drain_timeout
-        self._server: Optional[asyncio.base_events.Server] = None
+        #: Pre-bound listening sockets (the prefork supervisor's worker
+        #: path): the first is the *front* (shared) listener, the last
+        #: the worker's *direct* listener.  ``None`` binds host/port.
+        self._sockets = list(sockets) if sockets is not None else None
+        #: This process's index in a prefork pool, or ``None`` for the
+        #: classic single-process server.
+        self.worker_index = worker_index
+        self._servers: List[asyncio.base_events.Server] = []
         self._address: Optional[Tuple[str, int]] = None
+        self._direct_address: Optional[Tuple[str, int]] = None
+        self._peers: Tuple[WorkerPeer, ...] = ()
         self._writers: Set[asyncio.StreamWriter] = set()
         self._busy = 0
         self._idle = asyncio.Event()
@@ -146,14 +188,33 @@ class HttpQueryServer:
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
         """Bind and start accepting; returns ``(host, port)`` with any
-        ephemeral port (``port=0``) resolved."""
-        if self._server is not None:
+        ephemeral port (``port=0``) resolved.
+
+        With pre-bound ``sockets`` one accept loop starts per socket —
+        all feeding the same connection handler, so front-port and
+        direct-port requests are indistinguishable past accept."""
+        if self._servers:
             raise QueryError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port
-        )
-        sockname = self._server.sockets[0].getsockname()
-        self._address = (sockname[0], sockname[1])
+        if self._sockets is not None:
+            for sock in self._sockets:
+                self._servers.append(
+                    await asyncio.start_server(
+                        self._handle_connection, sock=sock
+                    )
+                )
+            first = self._servers[0].sockets[0].getsockname()
+            last = self._servers[-1].sockets[0].getsockname()
+            self._address = (first[0], first[1])
+            self._direct_address = (last[0], last[1])
+        else:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_connection, self._host, self._port
+                )
+            )
+            sockname = self._servers[0].sockets[0].getsockname()
+            self._address = (sockname[0], sockname[1])
+            self._direct_address = self._address
         return self._address
 
     @property
@@ -163,16 +224,36 @@ class HttpQueryServer:
         return self._address
 
     @property
+    def direct_address(self) -> Tuple[str, int]:
+        """The worker-private listener's address (== :attr:`address`
+        for a single-listener server)."""
+        if self._direct_address is None:
+            raise QueryError("server not started")
+        return self._direct_address
+
+    @property
     def draining(self) -> bool:
         return self._draining
+
+    @property
+    def peers(self) -> Tuple[WorkerPeer, ...]:
+        return self._peers
+
+    def set_peers(self, peers: Sequence[WorkerPeer]) -> None:
+        """Install the worker table (every worker in the pool, self
+        included).  Called from the supervisor's control-pipe reader
+        thread; a tuple assignment is atomic, so request handlers on
+        the event loop always see a consistent table."""
+        self._peers = tuple(sorted(peers, key=lambda p: p.index))
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, finish in-flight requests
         (bounded by ``drain_timeout``), close remaining connections."""
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
         if self._busy:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self._idle.wait(), self._drain_timeout)
@@ -203,6 +284,25 @@ class HttpQueryServer:
         # strong refs: a bare ensure_future result may be collected
         # mid-flight (the loop holds only weak task references)
         dispatches: Set[asyncio.Task] = set()
+        try:
+            await self._serve_connection(reader, writer, queue, write_loop, dispatches)
+        except asyncio.CancelledError:
+            # only loop shutdown cancels handlers (drain closes writers
+            # instead); cleanup already ran, and a handler task that
+            # *ends* cancelled makes asyncio's streams done-callback
+            # re-raise inside the event loop and log spurious noise —
+            # finish normally instead
+            pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        queue: asyncio.Queue,
+        write_loop: "asyncio.Future",
+        dispatches: Set[asyncio.Task],
+    ) -> None:
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
@@ -353,7 +453,8 @@ class HttpQueryServer:
     # routing
     # ------------------------------------------------------------------
     async def _dispatch(self, method: str, path: str, body: bytes) -> _Response:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
+        local_scope = "scope=local" in query.split("&")
         if path == "/query":
             if method != "POST":
                 return _method_not_allowed("POST")
@@ -361,15 +462,19 @@ class HttpQueryServer:
         if path == "/stats":
             if method != "GET":
                 return _method_not_allowed("GET")
+            if self._peers and not local_scope:
+                return _Response(200, await self._aggregated_stats_payload())
             return _Response(200, self._stats_payload())
         if path == "/healthz":
             if method != "GET":
                 return _method_not_allowed("GET")
-            status = "draining" if self._draining else "ok"
-            return _Response(
-                200,
-                {"status": status, "in_flight": self.service.in_flight},
-            )
+            if self._peers and not local_scope:
+                return _Response(200, await self._aggregated_healthz_payload())
+            return _Response(200, self._healthz_payload())
+        if path == "/workers":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return _Response(200, self._workers_payload())
         if path == "/catalog":
             if method != "GET":
                 return _method_not_allowed("GET")
@@ -379,7 +484,7 @@ class HttpQueryServer:
             {
                 "error": "not_found",
                 "detail": f"no route {path!r} (try /query, /stats, "
-                "/healthz, /catalog)",
+                "/healthz, /workers, /catalog)",
             },
         )
 
@@ -425,7 +530,7 @@ class HttpQueryServer:
         return _Response(200, wire.encode_result(result))
 
     def _stats_payload(self) -> dict:
-        return {
+        payload = {
             "service": wire.encode_service_stats(self.service.stats),
             "runtime": wire.encode_query_stats(
                 self.service.runtime.snapshot_stats()
@@ -434,6 +539,119 @@ class HttpQueryServer:
                 self.service.runtime.snapshot_store_stats()
             ),
             "in_flight": self.service.in_flight,
+        }
+        if self.worker_index is not None:
+            runtime = self.service.runtime
+            payload["worker"] = {
+                "index": self.worker_index,
+                "pid": os.getpid(),
+                "host": self.direct_address[0],
+                "port": self.direct_address[1],
+                # the zero-copy evidence: store files served over mmap
+                # views vs shard exports copied into shared memory
+                "mmap_paths": list(runtime.worker_mmap_paths()),
+                "shm_segments": runtime.shm_segments_created(),
+            }
+        return payload
+
+    def _healthz_payload(self) -> dict:
+        status = "draining" if self._draining else "ok"
+        payload = {"status": status, "in_flight": self.service.in_flight}
+        if self.worker_index is not None:
+            payload["worker"] = {
+                "index": self.worker_index, "pid": os.getpid(),
+            }
+        return payload
+
+    def _workers_payload(self) -> dict:
+        """``GET /workers`` — the pool table an affinity-aware client
+        routes by.  A single-process server reports itself as a pool of
+        one, so clients need not special-case deployments."""
+        if self._peers:
+            return wire.encode_worker_peers(self._peers)
+        host, port = self.direct_address
+        return wire.encode_worker_peers(
+            [WorkerPeer(self.worker_index or 0, os.getpid(), host, port)]
+        )
+
+    # ------------------------------------------------------------------
+    # cross-worker aggregation (the prefork pool's shared /stats story)
+    # ------------------------------------------------------------------
+    async def _peer_payloads(self, path: str) -> Dict[str, dict]:
+        """Fetch ``path`` from every worker in the table — self served
+        locally, peers over their direct listeners, concurrently.  An
+        unreachable peer (killed, mid-respawn) degrades to an ``error``
+        entry instead of failing the aggregate."""
+
+        async def fetch(peer: WorkerPeer) -> Tuple[str, dict]:
+            if peer.index == self.worker_index:
+                if path.startswith("/healthz"):
+                    return str(peer.index), self._healthz_payload()
+                return str(peer.index), self._stats_payload()
+            try:
+                payload = await asyncio.wait_for(
+                    _http_get_json(peer.host, peer.port, path),
+                    PEER_STATS_TIMEOUT,
+                )
+            except (OSError, asyncio.TimeoutError, QueryError) as exc:
+                payload = {
+                    "error": "unreachable",
+                    "detail": f"worker {peer.index} (pid {peer.pid}): "
+                    f"{type(exc).__name__}: {exc}",
+                }
+            return str(peer.index), payload
+
+        pairs = await asyncio.gather(*(fetch(p) for p in self._peers))
+        return dict(pairs)
+
+    async def _aggregated_stats_payload(self) -> dict:
+        """The pool-wide ``GET /stats``: per-worker payloads under
+        ``workers`` plus *summed* service/runtime/store counters in the
+        single-process payload's shape — a client summing outcomes or
+        asserting invariants reads the same keys either way."""
+        workers = await self._peer_payloads("/stats?scope=local")
+        reachable = [w for w in workers.values() if "error" not in w]
+        payload = {
+            "service": wire.encode_service_stats(
+                _sum_stats(
+                    [wire.decode_service_stats(w["service"]) for w in reachable]
+                )
+            ),
+            "runtime": wire.encode_query_stats(
+                _sum_stats(
+                    [wire.decode_query_stats(w["runtime"]) for w in reachable]
+                )
+            ),
+            "store": wire.encode_store_stats(
+                _sum_stats(
+                    [wire.decode_store_stats(w["store"]) for w in reachable]
+                )
+            ),
+            "in_flight": sum(w["in_flight"] for w in reachable),
+            "workers": workers,
+        }
+        return payload
+
+    async def _aggregated_healthz_payload(self) -> dict:
+        """The pool-wide ``GET /healthz``: overall status is ``ok``
+        only when every worker answered ``ok`` — a missing or draining
+        worker degrades the pool, visibly."""
+        workers = await self._peer_payloads("/healthz?scope=local")
+        statuses = [w.get("status") for w in workers.values()]
+        if all(s == "ok" for s in statuses):
+            status = "ok"
+        elif any(s == "draining" for s in statuses):
+            status = "draining"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "in_flight": sum(
+                w.get("in_flight", 0)
+                for w in workers.values()
+                if "error" not in w
+            ),
+            "workers": workers,
         }
 
     # ------------------------------------------------------------------
@@ -454,6 +672,76 @@ class HttpQueryServer:
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
+
+
+def _sum_stats(items):
+    """Field-wise sum of same-type counter dataclasses (ServiceStats /
+    QueryStats / StoreStats — every field an int).  ``items`` is never
+    empty on the aggregation path: the local worker always contributes."""
+    cls = type(items[0])
+    return cls(
+        **{
+            f.name: sum(getattr(item, f.name) for item in items)
+            for f in dataclasses.fields(cls)
+        }
+    )
+
+
+async def _http_get_json(host: str, port: int, path: str) -> dict:
+    """One ``GET`` against a peer worker's direct listener, parsed as
+    JSON.  Deliberately minimal (one-shot connection, Content-Length
+    framing only) — this is the intra-pool stats fan-out, talking to a
+    server this very module implements."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise QueryError(f"malformed peer status line: {status_line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise QueryError(
+                f"malformed peer status line: {status_line!r}"
+            ) from None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                raise QueryError("peer closed inside response headers")
+            if not raw.strip():
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise QueryError(
+                f"malformed peer Content-Length: "
+                f"{headers.get('content-length')!r}"
+            ) from None
+        body = await reader.readexactly(length) if length else b""
+        if status != 200:
+            raise QueryError(f"peer answered HTTP {status}")
+        try:
+            return json.loads(body)
+        except ValueError as exc:
+            raise QueryError(f"peer body is not valid JSON: {exc}") from None
+    except asyncio.IncompleteReadError:
+        raise QueryError("peer closed inside response body") from None
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
 
 
 def _wants_close(headers: Dict[str, str]) -> bool:
@@ -487,13 +775,19 @@ async def serving(
     host: str = "127.0.0.1",
     port: int = 0,
     drain_timeout: float = 10.0,
+    sockets: Optional[Sequence[socket.socket]] = None,
+    worker_index: Optional[int] = None,
 ):
     """Compose and start the full deployment (runtime → service →
     HTTP server), yield the started server, and tear it down in
     dependency order on exit: drain (unless the body already did),
     close the service off-loop (``close()`` joins running cores — a
     blocking join on the loop would stall any drain-time writes), then
-    close the runtime."""
+    close the runtime.
+
+    ``sockets`` / ``worker_index`` are the prefork worker path: serve
+    pre-bound listeners (shared front + worker-direct) under a pool
+    identity instead of binding ``host:port``."""
     runtime = QueryRuntime(
         runtime_config if runtime_config is not None else RuntimeConfig()
     )
@@ -506,6 +800,8 @@ async def serving(
                 host=host,
                 port=port,
                 drain_timeout=drain_timeout,
+                sockets=sockets,
+                worker_index=worker_index,
             )
             await server.start()
             try:

@@ -73,9 +73,11 @@ __all__ = [
     "decode_result",
     "decode_query_stats",
     "decode_service_stats",
+    "decode_worker_peers",
     "encode_result",
     "encode_query_stats",
     "encode_service_stats",
+    "encode_worker_peers",
     "wire_result",
 ]
 
@@ -304,6 +306,48 @@ def decode_service_stats(payload: Any) -> ServiceStats:
     return ServiceStats(
         **{name: _int_field(payload, name) for name in _SERVICE_STATS_FIELDS}
     )
+
+
+_WORKER_PEER_FIELDS = ("index", "pid", "host", "port")
+
+
+def encode_worker_peers(peers: Any) -> dict:
+    """The ``GET /workers`` payload: the prefork pool's worker table.
+
+    ``peers`` is any iterable of objects carrying ``index``/``pid``/
+    ``host``/``port`` (the server's ``WorkerPeer``); entries go out in
+    index order so the payload is deterministic across workers.
+    """
+    return {
+        "workers": [
+            {name: getattr(p, name) for name in _WORKER_PEER_FIELDS}
+            for p in sorted(peers, key=lambda p: p.index)
+        ]
+    }
+
+
+def decode_worker_peers(payload: Any) -> Tuple[Tuple[int, int, str, int], ...]:
+    """``(index, pid, host, port)`` per worker from a ``/workers``
+    payload, in index order.  Strict like every other codec here: a
+    missing or extra field is version skew and fails loudly."""
+    payload = _mapping(payload, "worker table")
+    _reject_unknown_keys(payload, ("workers",), "worker table")
+    entries = payload.get("workers")
+    if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+        raise QueryError("worker table 'workers' must be a list")
+    peers = []
+    for entry in entries:
+        entry = _mapping(entry, "worker entry")
+        _reject_unknown_keys(entry, _WORKER_PEER_FIELDS, "worker entry")
+        peers.append(
+            (
+                _int_field(entry, "index"),
+                _int_field(entry, "pid"),
+                _str_field(entry, "host"),
+                _int_field(entry, "port"),
+            )
+        )
+    return tuple(sorted(peers))
 
 
 # ----------------------------------------------------------------------

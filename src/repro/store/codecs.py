@@ -51,7 +51,24 @@ __all__ = [
     "open_trajectory_bundle",
     "save_tree_node_tables",
     "adopt_tree_node_tables",
+    "opened_mmap_paths",
 ]
+
+#: Every store file this *process* has opened as memmap views, by
+#: absolute path.  The scale-out serving stack reports this per worker
+#: (``GET /stats`` → ``worker.mmap_paths``) as evidence that N workers
+#: share one physical catalog instead of copying it: mmap opens land
+#: here, ``shared_memory`` exports land in the policy executor's
+#: ``shm_shipped`` counter, and the prefork tests hold the first
+#: non-empty and the second at zero.  Append-only and tiny (one entry
+#: per distinct file), so no eviction.
+_MMAP_OPENED: set = set()
+
+
+def opened_mmap_paths() -> Tuple[str, ...]:
+    """Absolute paths of all store files mmap-opened by this process,
+    sorted (see :data:`_MMAP_OPENED`)."""
+    return tuple(sorted(_MMAP_OPENED))
 
 AnyIndex = Union[StopGrid, ShardedStopGrid, CellstringIndex]
 
@@ -251,6 +268,8 @@ def open_index(
     All failures raise :class:`~repro.core.errors.StoreError`.
     """
     kind, meta, arrays = read_store_file(path, mmap_mode=mmap_mode, verify=verify)
+    if mmap_mode == "r":
+        _MMAP_OPENED.add(os.path.abspath(path))
     try:
         if kind == KIND_STOP_GRID:
             return _decode_stop_grid(meta, arrays)
@@ -385,6 +404,8 @@ def adopt_tree_node_tables(
     so a stale file costs a lazy rebuild, not a wrong answer.
     """
     kind, meta, arrays = read_store_file(path, mmap_mode=mmap_mode, verify=verify)
+    if mmap_mode == "r":
+        _MMAP_OPENED.add(os.path.abspath(path))
     if kind != KIND_NODE_TABLES:
         raise StoreError(
             f"store file {path!r} holds kind {kind!r}, not node tables"
