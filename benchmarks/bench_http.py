@@ -374,7 +374,7 @@ def _workers_leg(
     :func:`repro.bench.harness.tag_scaling_claim`.
     """
     with tempfile.TemporaryDirectory(prefix="bench-http-store-") as store_dir:
-        from repro.store.catalog import build_store_catalog
+        from repro.service.http.catalog import build_store_catalog
 
         build_store_catalog(
             store_dir, source_spec=_WORKERS_SOURCE,

@@ -29,7 +29,7 @@ from repro import (
     generate_taxi_trips,
     storage_report,
 )
-from repro.index.iomodel import estimate_query_blocks
+from repro.queries.iomodel import estimate_query_blocks
 from repro.queries.range_search import (
     trajectories_in_range,
     trajectories_served_by_stop,

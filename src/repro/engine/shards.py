@@ -76,7 +76,23 @@ __all__ = [
     "probe_shard_arrays",
     "grid_spill_name",
     "cellstring_spill_name",
+    "register_spill_opener",
 ]
+
+#: How spilled indexes come back off disk.  The on-disk format is owned
+#: by :mod:`repro.store`, which builds *on* the engine — so instead of
+#: importing upward, the store registers its ``open_index`` here when it
+#: is imported.  With no opener registered, every spill lookup is a
+#: miss and the engine rebuilds, exactly as with no spill directory.
+_SPILL_OPENER: Optional[Callable] = None
+
+
+def register_spill_opener(opener: Optional[Callable]) -> None:
+    """Install the callable that opens a spilled index file
+    (``opener(path, mmap_mode='r')``), normally ``repro.store.open_index``."""
+    global _SPILL_OPENER
+    _SPILL_OPENER = opener
+
 
 #: Key stride between grid rows: ``key = ix * _KEY_STRIDE + iy``.  The
 #: cell-size derivation caps cells per axis at 2**20, so ``iy`` always
@@ -334,22 +350,22 @@ class ShardStore:
         self._grids: Dict[Tuple, "ShardedStopGrid"] = {}
         self._shards: Dict[Tuple, StopShard] = {}
         self._cellstrings: Dict[Tuple, CellstringIndex] = {}
-        self.grid_hits = 0
-        self.grid_misses = 0
-        self.grid_evictions = 0
-        self.shard_hits = 0
-        self.shard_misses = 0
-        self.shard_evictions = 0
-        self.cellstring_hits = 0
-        self.cellstring_misses = 0
-        self.cellstring_evictions = 0
-        self.opened = 0
-        self.verified = 0
+        self.grid_hits = 0  # guarded-by: _lock
+        self.grid_misses = 0  # guarded-by: _lock
+        self.grid_evictions = 0  # guarded-by: _lock
+        self.shard_hits = 0  # guarded-by: _lock
+        self.shard_misses = 0  # guarded-by: _lock
+        self.shard_evictions = 0  # guarded-by: _lock
+        self.cellstring_hits = 0  # guarded-by: _lock
+        self.cellstring_misses = 0  # guarded-by: _lock
+        self.cellstring_evictions = 0  # guarded-by: _lock
+        self.opened = 0  # guarded-by: _lock
+        self.verified = 0  # guarded-by: _lock
         #: Paths of persisted store files served over memmap views (the
         #: zero-copy evidence the serving layer's ``worker_mmap_paths``
         #: introspection reports): every entry is an index this store
         #: *opened* instead of building.
-        self.opened_paths: Set[str] = set()
+        self.opened_paths: Set[str] = set()  # guarded-by: _lock
         self._lock = threading.RLock()
 
     @staticmethod
@@ -360,22 +376,22 @@ class ShardStore:
             evicted += 1
         return evicted
 
-    def _open_spilled(self, filename: str):
+    def _open_spilled(self, filename: str):  # requires-lock: _lock
         """The index persisted under ``filename`` in the spill
         directory, opened over memmap views — or ``None`` (no spill dir,
-        no such file, or a corrupt file, which is deliberately a silent
-        miss: the caller rebuilds, exactly as if nothing were spilled).
-        Counts ``opened`` on a successful open; the caller counts
-        ``verified`` after its bitwise re-verification."""
-        if self.spill_dir is None:
+        no such file, no registered opener, or a corrupt file, which is
+        deliberately a silent miss: the caller rebuilds, exactly as if
+        nothing were spilled).  Counts ``opened`` on a successful open;
+        the caller counts ``verified`` after its bitwise
+        re-verification."""
+        opener = _SPILL_OPENER
+        if self.spill_dir is None or opener is None:
             return None
         path = os.path.join(self.spill_dir, filename)
         if not os.path.exists(path):
             return None
-        from ..store import open_index  # deferred: store builds on engine
-
         try:
-            index = open_index(path, mmap_mode="r")
+            index = opener(path, mmap_mode="r")
         except StoreError:
             return None
         self.opened += 1

@@ -8,7 +8,6 @@ from .builder import (
     segment_dataset,
 )
 from .entries import IndexEntry, SubBounds, make_entries, validate_spec_for_variant
-from .iomodel import BlockCosts, estimate_query_blocks
 from .quadtree import PointQuadtree
 from .stats import IndexStats, storage_report
 from .tqtree import QNode, TQTree
@@ -32,6 +31,4 @@ __all__ = [
     "segment_dataset",
     "embr_region_test",
     "disc_region_test",
-    "BlockCosts",
-    "estimate_query_blocks",
 ]

@@ -10,6 +10,7 @@ from .evaluate import (
     evaluate_service,
 )
 from .exact import approximation_ratio, exact_core, exact_max_k_coverage
+from .iomodel import BlockCosts, estimate_query_blocks
 from .genetic import GeneticConfig, genetic_core, genetic_max_k_coverage
 from .kmaxrrst import (
     FacilityScore,
@@ -58,4 +59,6 @@ __all__ = [
     "approximation_ratio",
     "trajectories_in_range",
     "trajectories_served_by_stop",
+    "BlockCosts",
+    "estimate_query_blocks",
 ]

@@ -33,7 +33,7 @@ from typing import Optional
 from ..core.service import ServiceSpec
 from ..core.trajectory import FacilityRoute
 from ..index.tqtree import QNode, TQTree
-from ..queries.components import FacilityComponent, intersecting_components
+from .components import FacilityComponent, intersecting_components
 
 __all__ = ["BlockCosts", "estimate_query_blocks"]
 

@@ -126,7 +126,7 @@ class QueryRuntime:
             config = dataclasses.replace(config, backend=backend)
         self.config = config
         self.cache = cache if cache is not None else CoverageCache()
-        self.stats = stats if stats is not None else QueryStats()
+        self.stats = stats if stats is not None else QueryStats()  # guarded-by: _STATS_LOCK
         self.shard_store = ShardStore(spill_dir=config.store_dir)
         self.policy_executor = make_policy_executor(config)
 

@@ -19,7 +19,13 @@ Run a server from the command line with ``python -m repro.serve``
 (``--workers N`` for the prefork pool).
 """
 
-from .catalog import Catalog, build_demo_catalog, catalog_from_spec
+from .catalog import (
+    Catalog,
+    build_demo_catalog,
+    build_store_catalog,
+    catalog_from_spec,
+    open_store_catalog,
+)
 from .client import (
     ConnectionLost,
     HttpResponse,
@@ -47,7 +53,9 @@ from .wire import (
 __all__ = [
     "Catalog",
     "build_demo_catalog",
+    "build_store_catalog",
     "catalog_from_spec",
+    "open_store_catalog",
     "HttpQueryServer",
     "BackgroundServer",
     "background_server",

@@ -29,6 +29,7 @@ Three spec grammars build a catalog from the command line
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...core.errors import CatalogError, QueryError
@@ -42,7 +43,13 @@ from ...datasets import (
 )
 from ...index import TQTree, build_tq_zorder
 
-__all__ = ["Catalog", "build_demo_catalog", "catalog_from_spec"]
+__all__ = [
+    "Catalog",
+    "build_demo_catalog",
+    "build_store_catalog",
+    "catalog_from_spec",
+    "open_store_catalog",
+]
 
 
 class Catalog:
@@ -285,10 +292,7 @@ def _catalog_from_spec(spec: str) -> Catalog:
             raise CatalogError(f"store spec is store:<dir>, got {spec!r}")
         # a path may itself contain ':' (unusual but legal) — rejoin
         store_dir = ":".join(parts[1:])
-        # deferred: repro.store pulls the engine in, and the catalog
-        # module is imported by lightweight wire/client code too
         from ...core.errors import StoreError
-        from ...store import open_store_catalog
 
         try:
             return open_store_catalog(store_dir)
@@ -303,3 +307,160 @@ def _catalog_from_spec(spec: str) -> Catalog:
         f"unknown catalog spec {spec!r} (expected 'demo[:...]', "
         "'csv:<users>:<facilities>[:beta]', or 'store:<dir>')"
     )
+
+
+# ----------------------------------------------------------------------
+# store-backed catalogs: offline build and serving-time open
+# ----------------------------------------------------------------------
+def build_store_catalog(
+    out_dir: str,
+    source_spec: str = "demo",
+    psi_values: Optional[Sequence[float]] = None,
+    n_shards: Optional[int] = None,
+    beta: int = 32,
+) -> Dict:
+    """Precompute a store catalog directory from ``source_spec``.
+
+    Resolves the source spec with :func:`catalog_from_spec`, persists
+    every resource into ``out_dir`` — trajectory and facility bundles,
+    TQ-tree node tables, and one index file per (facility, psi, tier)
+    named by the exact spill-file tokens
+    :class:`repro.engine.ShardStore` probes — and returns the manifest
+    written to ``<out_dir>/catalog.json``.  A server started with
+    ``--catalog store:<out_dir>`` opens those files instead of
+    rebuilding.
+    """
+    # deferred: repro.store pulls the engine in, and the catalog module
+    # is imported by lightweight wire/client code too
+    from ...core.config import SHARDS_AUTO
+    from ...core.errors import StoreError
+    from ...engine.cellstring import build_cellstring_index
+    from ...engine.shards import (
+        ShardedStopGrid,
+        cellstring_spill_name,
+        grid_spill_name,
+    )
+    from ...store.catalog import DEFAULT_PSI, MANIFEST_VERSION, write_manifest
+    from ...store.codecs import (
+        KIND_FACILITIES,
+        KIND_TRAJECTORIES,
+        save_index,
+        save_trajectory_bundle,
+        save_tree_node_tables,
+    )
+
+    if psi_values is None:
+        psi_values = (DEFAULT_PSI,)
+    if n_shards is None:
+        n_shards = SHARDS_AUTO
+    source = catalog_from_spec(source_spec)
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+    except OSError as exc:
+        raise StoreError(f"cannot create store dir {out_dir!r}: {exc}") from exc
+    psi_values = [float(p) for p in psi_values]
+    manifest: Dict = {
+        "manifest_version": MANIFEST_VERSION,
+        "source": source_spec,
+        "beta": int(beta),
+        "psi_values": psi_values,
+        "n_shards": int(n_shards),
+        "trees": {},
+        "facility_sets": {},
+        "index_files": [],
+    }
+    for name in source.tree_names:
+        tree = source.tree(name)
+        users_file = f"users-{name}.idx"
+        nodes_file = f"nodes-{name}.idx"
+        users = sorted(tree.trajectories(), key=lambda u: u.traj_id)
+        save_trajectory_bundle(
+            os.path.join(out_dir, users_file), users, KIND_TRAJECTORIES
+        )
+        save_tree_node_tables(os.path.join(out_dir, nodes_file), tree)
+        manifest["trees"][name] = {"users": users_file, "nodes": nodes_file}
+    for name in source.facility_set_names:
+        routes = source.facility_set(name)
+        set_file = f"facilities-{name}.idx"
+        save_trajectory_bundle(
+            os.path.join(out_dir, set_file), routes, KIND_FACILITIES
+        )
+        manifest["facility_sets"][name] = {"file": set_file}
+        for route in routes:
+            coords = route.stop_coords
+            for psi in psi_values:
+                cs_name = cellstring_spill_name(coords, psi)
+                save_index(
+                    os.path.join(out_dir, cs_name),
+                    build_cellstring_index(coords, psi),
+                )
+                grid_name = grid_spill_name(coords, psi, n_shards)
+                save_index(
+                    os.path.join(out_dir, grid_name),
+                    ShardedStopGrid(coords, psi, n_shards),
+                )
+                manifest["index_files"].extend([cs_name, grid_name])
+    write_manifest(out_dir, manifest)
+    return manifest
+
+
+def open_store_catalog(store_dir: str, mmap_mode: Optional[str] = "r") -> Catalog:
+    """A live catalog reconstructed from a store directory.
+
+    The serving-time counterpart behind ``--catalog store:<dir>``:
+    reads the manifest, rebuilds the trees from the persisted
+    trajectory bundles (the tree *structure* is cheap and deterministic
+    to rebuild; the node filter tables — the arrays — are adopted from
+    their store file as memmap views), and registers the facility sets.
+    The per-facility index files are *not* opened here — the runtime's
+    :class:`~repro.engine.ShardStore`, pointed at the same directory via
+    :attr:`~repro.core.config.RuntimeConfig.store_dir`, opens each
+    lazily on its first cache miss, which is what turns serving
+    cold-start from O(rebuild every index) into O(open).
+    """
+    # deferred, as in build_store_catalog
+    from ...core.errors import StoreError
+    from ...store.catalog import read_manifest
+    from ...store.codecs import (
+        KIND_FACILITIES,
+        KIND_TRAJECTORIES,
+        adopt_tree_node_tables,
+        open_trajectory_bundle,
+    )
+
+    manifest = read_manifest(store_dir)
+    beta = int(manifest["beta"])
+    catalog = Catalog()
+    source_label = f"store:{store_dir}"
+    for name, files in sorted(manifest["trees"].items()):
+        try:
+            users_file = files["users"]
+            nodes_file = files["nodes"]
+        except (TypeError, KeyError) as exc:
+            raise StoreError(
+                f"manifest tree entry {name!r} is malformed: {exc}"
+            ) from exc
+        kind, users = open_trajectory_bundle(os.path.join(store_dir, users_file))
+        if kind != KIND_TRAJECTORIES:
+            raise StoreError(
+                f"tree {name!r} users bundle holds {kind!r}, not trajectories"
+            )
+        tree = build_tq_zorder(users, beta=beta)
+        adopt_tree_node_tables(
+            tree, os.path.join(store_dir, nodes_file), mmap_mode=mmap_mode
+        )
+        catalog.add_tree(name, tree, source=source_label)
+    for name, entry in sorted(manifest["facility_sets"].items()):
+        try:
+            set_file = entry["file"]
+        except (TypeError, KeyError) as exc:
+            raise StoreError(
+                f"manifest facility-set entry {name!r} is malformed: {exc}"
+            ) from exc
+        kind, routes = open_trajectory_bundle(os.path.join(store_dir, set_file))
+        if kind != KIND_FACILITIES:
+            raise StoreError(
+                f"facility set {name!r} bundle holds {kind!r}, not facilities"
+            )
+        catalog.add_facility_set(name, routes, source=source_label)
+    return catalog

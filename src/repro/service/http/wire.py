@@ -257,8 +257,31 @@ def request_type(request: QueryRequest) -> str:
 # ----------------------------------------------------------------------
 # stats codecs
 # ----------------------------------------------------------------------
-_QUERY_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(QueryStats))
-_SERVICE_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(ServiceStats))
+# The stats field tables are spelled out literally — not derived with
+# dataclasses.fields() — so they are part of the wire schema's source of
+# truth: adding a counter without touching its codec, or deleting one
+# from a codec, is a static L4 lint failure, not a runtime default-to-0.
+_QUERY_STATS_FIELDS = (
+    "nodes_visited",
+    "entries_considered",
+    "entries_scored",
+    "states_relaxed",
+    "states_pruned",
+    "points_scanned",
+    "distance_evals",
+    "cells_probed",
+    "cache_hits",
+)
+_SERVICE_STATS_FIELDS = (
+    "requests_submitted",
+    "requests_completed",
+    "requests_failed",
+    "requests_rejected",
+    "requests_cancelled",
+    "probe_units_planned",
+    "probe_units_coalesced",
+    "probe_units_batched",
+)
 
 
 def encode_query_stats(stats: QueryStats) -> dict:
@@ -275,7 +298,19 @@ def decode_query_stats(payload: Any) -> QueryStats:
     )
 
 
-_STORE_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(StoreStats))
+_STORE_STATS_FIELDS = (
+    "grid_hits",
+    "grid_misses",
+    "grid_evictions",
+    "shard_hits",
+    "shard_misses",
+    "shard_evictions",
+    "cellstring_hits",
+    "cellstring_misses",
+    "cellstring_evictions",
+    "opened",
+    "verified",
+)
 
 
 def encode_store_stats(stats: StoreStats) -> dict:

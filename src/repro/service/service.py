@@ -288,7 +288,7 @@ class QueryService:
         # assignment.  The public :attr:`stats` property snapshots
         # under this lock (the same discipline QueryRuntime's stats
         # lock applies one layer down).
-        self._stats = ServiceStats()
+        self._stats = ServiceStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_in_flight,
@@ -321,7 +321,7 @@ class QueryService:
         #: cores handed to the bridge pool and not yet finished, kept
         #: on a threading lock (not asyncio state) so it stays truthful
         #: even when a cancelled core outlives its event loop
-        self._executing = 0
+        self._executing = 0  # guarded-by: _core_lock
         self._core_lock = threading.Lock()
         self._closed = False
 

@@ -7,13 +7,16 @@ One index per file in a versioned container format (:mod:`.format`);
 :class:`~repro.engine.cellstring.CellstringIndex` through it with
 zero-copy ``np.memmap`` reads, so startup is O(open) instead of
 O(rebuild) and concurrent processes share one read-only mapping per
-file.  :mod:`.catalog` builds and opens whole serving catalogs
-(``python -m repro.store build`` → ``--catalog store:<dir>``).
+file.  :mod:`.catalog` owns the ``catalog.json`` manifest format that
+ties a directory of store files into a serving catalog; building and
+opening whole catalogs (``python -m repro.store build`` →
+``--catalog store:<dir>``) lives with the catalog class it produces,
+in :mod:`repro.service.http.catalog`.
 
 Every on-disk failure is a :class:`~repro.core.errors.StoreError`.
 """
 
-from .catalog import build_store_catalog, open_store_catalog, read_manifest
+from .catalog import read_manifest, write_manifest
 from .codecs import (
     adopt_tree_node_tables,
     open_index,
@@ -30,6 +33,13 @@ from .format import (
     write_store_file,
 )
 
+# The engine's shard store reads spilled indexes through a registered
+# opener rather than importing the store (which builds on the engine);
+# importing repro.store is what plugs the on-disk format in.
+from ..engine.shards import register_spill_opener as _register_spill_opener
+
+_register_spill_opener(open_index)
+
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
@@ -42,7 +52,6 @@ __all__ = [
     "open_trajectory_bundle",
     "save_tree_node_tables",
     "adopt_tree_node_tables",
-    "build_store_catalog",
-    "open_store_catalog",
     "read_manifest",
+    "write_manifest",
 ]

@@ -23,7 +23,8 @@ import sys
 from typing import List
 
 from ..core.errors import StoreError
-from .catalog import MANIFEST_NAME, build_store_catalog, read_manifest
+from ..service.http.catalog import build_store_catalog
+from .catalog import read_manifest
 from .format import inspect_store_file, read_store_file
 
 

@@ -1,27 +1,21 @@
-"""Offline-built store catalogs: a directory of persisted resources.
+"""Store-catalog manifest primitives.
 
-:func:`build_store_catalog` resolves a source catalog spec (the same
-``demo``/``csv`` grammars :func:`repro.service.http.catalog
-.catalog_from_spec` accepts), persists every resource into one
-directory — trajectory and facility bundles, TQ-tree node tables, and
-one index file per (facility, psi, tier) named by the exact spill-file
-tokens :class:`repro.engine.ShardStore` probes — and writes a
-``catalog.json`` manifest tying them together.
+A store catalog is a directory of persisted resources tied together by
+a ``catalog.json`` manifest: trajectory and facility bundles, TQ-tree
+node tables, and one index file per (facility, psi, tier) named by the
+exact spill-file tokens :class:`repro.engine.ShardStore` probes.  This
+module owns the manifest format — its name, schema version, and atomic
+read/write — which is all the *store* layer needs to know about
+catalogs.
 
-:func:`open_store_catalog` is the serving-time counterpart behind
-``--catalog store:<dir>``: it reads the manifest, reconstructs the
-trees and facility sets from the bundles, re-adopts the persisted node
-tables as memmap views, and returns a live
-:class:`~repro.service.http.catalog.Catalog`.  The per-facility index
-files are *not* opened here — the runtime's :class:`ShardStore`,
-pointed at the same directory via
-:attr:`~repro.core.config.RuntimeConfig.store_dir`, opens each lazily
-on its first cache miss, which is what turns serving cold-start from
-O(rebuild every index) into O(open).
+Building a catalog from a source spec and reconstructing a live serving
+:class:`~repro.service.http.catalog.Catalog` from one are serving-layer
+concerns and live next to the catalog class they produce:
+:func:`repro.service.http.catalog.build_store_catalog` /
+:func:`~repro.service.http.catalog.open_store_catalog` (the
+``python -m repro.store build`` / ``--catalog store:<dir>`` pair).
 
-Every on-disk failure raises
-:class:`~repro.core.errors.StoreError`; the HTTP catalog boundary maps
-it to :class:`~repro.core.errors.CatalogError`.
+Every on-disk failure raises :class:`~repro.core.errors.StoreError`.
 """
 
 from __future__ import annotations
@@ -29,27 +23,17 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional, Sequence
+from typing import Dict
 
-from ..core.config import SHARDS_AUTO
 from ..core.errors import StoreError
-from ..engine.cellstring import build_cellstring_index
-from ..engine.shards import (
-    ShardedStopGrid,
-    cellstring_spill_name,
-    grid_spill_name,
-)
-from .codecs import (
-    KIND_FACILITIES,
-    KIND_TRAJECTORIES,
-    adopt_tree_node_tables,
-    open_trajectory_bundle,
-    save_index,
-    save_trajectory_bundle,
-    save_tree_node_tables,
-)
 
-__all__ = ["build_store_catalog", "open_store_catalog", "MANIFEST_NAME"]
+__all__ = [
+    "DEFAULT_PSI",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "read_manifest",
+    "write_manifest",
+]
 
 MANIFEST_NAME = "catalog.json"
 
@@ -61,75 +45,8 @@ MANIFEST_VERSION = 1
 DEFAULT_PSI = 300.0
 
 
-def build_store_catalog(
-    out_dir: str,
-    source_spec: str = "demo",
-    psi_values: Sequence[float] = (DEFAULT_PSI,),
-    n_shards: int = SHARDS_AUTO,
-    beta: int = 32,
-) -> Dict:
-    """Precompute a store catalog directory from ``source_spec``.
-
-    Returns the manifest written to ``<out_dir>/catalog.json``.  Index
-    files carry the spill names the serving :class:`ShardStore` derives
-    from request content, so a server started with
-    ``--catalog store:<out_dir>`` opens them instead of rebuilding.
-    """
-    # deferred: the http catalog module imports the serving stack
-    from ..service.http.catalog import catalog_from_spec
-
-    source = catalog_from_spec(source_spec)
-    try:
-        os.makedirs(out_dir, exist_ok=True)
-    except OSError as exc:
-        raise StoreError(f"cannot create store dir {out_dir!r}: {exc}") from exc
-    psi_values = [float(p) for p in psi_values]
-    manifest: Dict = {
-        "manifest_version": MANIFEST_VERSION,
-        "source": source_spec,
-        "beta": int(beta),
-        "psi_values": psi_values,
-        "n_shards": int(n_shards),
-        "trees": {},
-        "facility_sets": {},
-        "index_files": [],
-    }
-    for name in source.tree_names:
-        tree = source.tree(name)
-        users_file = f"users-{name}.idx"
-        nodes_file = f"nodes-{name}.idx"
-        users = sorted(tree.trajectories(), key=lambda u: u.traj_id)
-        save_trajectory_bundle(
-            os.path.join(out_dir, users_file), users, KIND_TRAJECTORIES
-        )
-        save_tree_node_tables(os.path.join(out_dir, nodes_file), tree)
-        manifest["trees"][name] = {"users": users_file, "nodes": nodes_file}
-    for name in source.facility_set_names:
-        routes = source.facility_set(name)
-        set_file = f"facilities-{name}.idx"
-        save_trajectory_bundle(
-            os.path.join(out_dir, set_file), routes, KIND_FACILITIES
-        )
-        manifest["facility_sets"][name] = {"file": set_file}
-        for route in routes:
-            coords = route.stop_coords
-            for psi in psi_values:
-                cs_name = cellstring_spill_name(coords, psi)
-                save_index(
-                    os.path.join(out_dir, cs_name),
-                    build_cellstring_index(coords, psi),
-                )
-                grid_name = grid_spill_name(coords, psi, n_shards)
-                save_index(
-                    os.path.join(out_dir, grid_name),
-                    ShardedStopGrid(coords, psi, n_shards),
-                )
-                manifest["index_files"].extend([cs_name, grid_name])
-    _write_manifest(out_dir, manifest)
-    return manifest
-
-
-def _write_manifest(out_dir: str, manifest: Dict) -> None:
+def write_manifest(out_dir: str, manifest: Dict) -> None:
+    """Atomically write ``manifest`` as ``<out_dir>/catalog.json``."""
     path = os.path.join(out_dir, MANIFEST_NAME)
     try:
         fd, tmp = tempfile.mkstemp(
@@ -169,54 +86,3 @@ def read_manifest(store_dir: str) -> Dict:
         if key not in manifest:
             raise StoreError(f"manifest {path!r} is missing {key!r}")
     return manifest
-
-
-def open_store_catalog(store_dir: str, mmap_mode: Optional[str] = "r"):
-    """A live catalog reconstructed from a store directory.
-
-    Trees are rebuilt from the persisted trajectory bundles (the tree
-    *structure* is cheap and deterministic to rebuild; the node filter
-    tables — the arrays — are adopted from their store file as memmap
-    views).  Index files stay on disk for the runtime's
-    :class:`ShardStore` to open lazily.
-    """
-    # deferred, as in build_store_catalog
-    from ..index import build_tq_zorder
-    from ..service.http.catalog import Catalog
-
-    manifest = read_manifest(store_dir)
-    beta = int(manifest["beta"])
-    catalog = Catalog()
-    source_label = f"store:{store_dir}"
-    for name, files in sorted(manifest["trees"].items()):
-        try:
-            users_file = files["users"]
-            nodes_file = files["nodes"]
-        except (TypeError, KeyError) as exc:
-            raise StoreError(
-                f"manifest tree entry {name!r} is malformed: {exc}"
-            ) from exc
-        kind, users = open_trajectory_bundle(os.path.join(store_dir, users_file))
-        if kind != KIND_TRAJECTORIES:
-            raise StoreError(
-                f"tree {name!r} users bundle holds {kind!r}, not trajectories"
-            )
-        tree = build_tq_zorder(users, beta=beta)
-        adopt_tree_node_tables(
-            tree, os.path.join(store_dir, nodes_file), mmap_mode=mmap_mode
-        )
-        catalog.add_tree(name, tree, source=source_label)
-    for name, entry in sorted(manifest["facility_sets"].items()):
-        try:
-            set_file = entry["file"]
-        except (TypeError, KeyError) as exc:
-            raise StoreError(
-                f"manifest facility-set entry {name!r} is malformed: {exc}"
-            ) from exc
-        kind, routes = open_trajectory_bundle(os.path.join(store_dir, set_file))
-        if kind != KIND_FACILITIES:
-            raise StoreError(
-                f"facility set {name!r} bundle holds {kind!r}, not facilities"
-            )
-        catalog.add_facility_set(name, routes, source=source_label)
-    return catalog

@@ -396,7 +396,7 @@ def adopt_tree_node_tables(
 
     The caller must have rebuilt ``tree`` from the same trajectories
     and parameters the tables were saved against (what
-    :func:`~repro.store.catalog.open_store_catalog` does — the users
+    :func:`~repro.service.http.catalog.open_store_catalog` does — the users
     bundle and node tables travel together).  Shape mismatches degrade
     safely: a tree with a different node count adopts nothing, a node
     whose entry count disagrees with its persisted table keeps nothing,

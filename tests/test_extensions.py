@@ -16,7 +16,7 @@ from repro import (
     build_tq_basic,
     build_tq_zorder,
 )
-from repro.index.iomodel import BlockCosts, estimate_query_blocks
+from repro.queries.iomodel import BlockCosts, estimate_query_blocks
 from repro.queries.range_search import (
     trajectories_in_range,
     trajectories_served_by_stop,

@@ -443,6 +443,39 @@ class TestWireAndCatalogUnits:
         assert decoded == stats
         assert decoded.dedup_rate == stats.dedup_rate
 
+    def test_stats_decodes_require_every_field(self):
+        """The L4 contract's runtime half: a stats payload missing any
+        single codec field is rejected, never defaulted to 0."""
+        from repro import QueryStats, ServiceStats
+        from repro.core.stats import StoreStats
+
+        cases = [
+            (wire.encode_query_stats(QueryStats()), wire.decode_query_stats),
+            (
+                wire.encode_service_stats(ServiceStats()),
+                wire.decode_service_stats,
+            ),
+            (wire.encode_store_stats(StoreStats()), wire.decode_store_stats),
+        ]
+        for payload, decode in cases:
+            assert payload, "encoder produced an empty payload"
+            for field in payload:
+                if field == "dedup_rate":  # derived, not required
+                    continue
+                partial = {k: v for k, v in payload.items() if k != field}
+                with pytest.raises(QueryError, match=field):
+                    decode(partial)
+
+    def test_worker_peers_decode_requires_every_field(self):
+        entry = {"index": 0, "pid": 42, "host": "127.0.0.1", "port": 8001}
+        assert wire.decode_worker_peers({"workers": [dict(entry)]}) == (
+            (0, 42, "127.0.0.1", 8001),
+        )
+        for field in entry:
+            partial = {k: v for k, v in entry.items() if k != field}
+            with pytest.raises(QueryError, match=field):
+                wire.decode_worker_peers({"workers": [partial]})
+
     def test_decode_request_requires_known_shape(self, catalog):
         with pytest.raises(QueryError, match="JSON object"):
             wire.decode_request([1, 2, 3], catalog)

@@ -374,24 +374,25 @@ class TestLegacyShimsCompleted:
 
 
 class TestNoBackendPlumbingInQueries:
-    """The grep-style layering check: after the runtime refactor, no
-    module under ``queries/`` touches the proximity machinery directly —
-    probes go through the runtime or the plain ``StopSet`` contract."""
+    """The layering check, now rule L1 of ``repro.lint``: no module
+    under ``queries/`` touches the proximity machinery directly —
+    probes go through the runtime or the plain ``StopSet`` contract.
+    The declared layer DAG forbids ``queries`` → ``engine`` imports and
+    bans the ``ProximityBackend`` symbol for the queries layer."""
 
     def test_queries_never_import_backend_or_engine(self):
         import repro.queries as queries_pkg
+        from repro.lint import REPRO_CONFIG, SourceIndex, run_rules
 
-        qdir = Path(queries_pkg.__file__).parent
-        offenders = []
-        for py in sorted(qdir.glob("*.py")):
-            for lineno, line in enumerate(
-                py.read_text().splitlines(), start=1
-            ):
-                stripped = line.strip()
-                if not stripped.startswith(("import ", "from ")):
-                    continue
-                if "ProximityBackend" in stripped or "engine" in stripped:
-                    offenders.append(f"{py.name}:{lineno}: {stripped}")
+        layer_cfg = REPRO_CONFIG.layer
+        assert "engine" not in layer_cfg.allowed["queries"]
+        assert "ProximityBackend" in layer_cfg.banned_names["queries"]
+
+        root = Path(queries_pkg.__file__).parent.parent
+        findings = run_rules(SourceIndex(root), REPRO_CONFIG, select=["L1"])
+        offenders = [
+            f.render() for f in findings if f.path.startswith("repro/queries/")
+        ]
         assert not offenders, (
             "queries/ must route all proximity work through the runtime; "
             "found direct plumbing:\n" + "\n".join(offenders)

@@ -48,14 +48,13 @@ from repro.engine.shards import (
 from repro.index import build_tq_zorder
 from repro.runtime.policies import ProcessPolicyExecutor
 from repro.service.http import ServeClient, background_server, catalog_from_spec
+from repro.service.http.catalog import build_store_catalog, open_store_catalog
 from repro.store import (
     FORMAT_VERSION,
     MAGIC,
     adopt_tree_node_tables,
-    build_store_catalog,
     inspect_store_file,
     open_index,
-    open_store_catalog,
     open_trajectory_bundle,
     read_manifest,
     read_store_file,

@@ -266,7 +266,7 @@ class TestAggregatedStats:
 class TestZeroCopyStoreServing:
     @pytest.fixture(scope="class")
     def store_dir(self, tmp_path_factory):
-        from repro.store.catalog import build_store_catalog
+        from repro.service.http.catalog import build_store_catalog
 
         out = tmp_path_factory.mktemp("supervisor-store")
         build_store_catalog(
